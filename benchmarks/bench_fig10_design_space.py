@@ -1,0 +1,38 @@
+"""Figure 10 — mm performance vs merge factors (GTX 280).
+
+The paper sweeps the number of merged thread blocks (X) and merged
+threads (Y); the optimum sits in the high-merge region with a cliff when
+register pressure forces spilling (the paper reports 16 blocks x 16
+threads as the winner across input sizes).
+"""
+
+from common import run_once, save_and_print
+
+from repro.bench import format_table
+from repro.bench.figures import fig10_design_space
+from repro.explore import BLOCK_MERGE_FACTORS, THREAD_MERGE_FACTORS
+
+
+def test_fig10_design_space(benchmark):
+    rows, best = run_once(benchmark, fig10_design_space, 2048)
+    grid = {(r["block_merge"], r["thread_merge"]): r for r in rows}
+    table_rows = []
+    for bm in BLOCK_MERGE_FACTORS:
+        row = [f"block x{bm}"]
+        for tm in THREAD_MERGE_FACTORS:
+            r = grid[(bm, tm)]
+            row.append(f"{r['gflops']:.1f}" if r["feasible"] else "infeas")
+        table_rows.append(row)
+    table = format_table(
+        ["merge"] + [f"thread x{tm}" for tm in THREAD_MERGE_FACTORS],
+        table_rows,
+        "Figure 10: mm GFLOPS vs merge factors (GTX 280, 2k x 2k)")
+    save_and_print("fig10_design_space", table + f"\nbest: {best}")
+
+    # Shape: merging helps a lot over no thread merge...
+    assert grid[(16, 16)]["gflops"] > 2 * grid[(4, 1)]["gflops"]
+    # ...and the optimum is an interior/high-merge point, not (4, 1).
+    assert best != (4, 1)
+    # The register-pressure cliff: the most aggressive corner is not
+    # clearly better than the paper's 16x16 choice.
+    assert grid[(16, 16)]["gflops"] >= 0.8 * grid[(32, 32)]["gflops"]

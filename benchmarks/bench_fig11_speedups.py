@@ -1,0 +1,33 @@
+"""Figure 11 — kernel speedups of optimized over naive, GTX 8800 & GTX 280.
+
+Paper: 15.1x (8800) and 7.9x (280) geometric-mean speedups, up to 128x;
+GTX 280 benefits less because its relaxed coalescer improves the naive
+baselines.  We assert those shapes: large average speedups, a >30x best
+case, and 8800 > 280 on average.
+"""
+
+from common import run_once, save_and_print
+
+from repro.bench import format_table
+from repro.bench.figures import fig11_speedups
+from repro.bench.report import geomean
+
+
+def test_fig11_speedups(benchmark):
+    rows = run_once(benchmark, fig11_speedups, 2048)
+    g8800 = geomean([r["GTX8800"] for r in rows])
+    g280 = geomean([r["GTX280"] for r in rows])
+    table = format_table(
+        ["algorithm", "GTX8800 speedup", "GTX280 speedup"],
+        [[r["algorithm"], r["GTX8800"], r["GTX280"]] for r in rows]
+        + [["geomean", g8800, g280]],
+        "Figure 11: optimized-over-naive speedups")
+    save_and_print("fig11_speedups", table)
+
+    # Shape assertions against the paper.
+    assert g8800 > 4.0 and g280 > 3.0          # large average speedups
+    assert g8800 > g280                         # 8800 gains more (Sec 6.2)
+    assert max(r["GTX8800"] for r in rows) > 30  # "up to 128x" class wins
+    for r in rows:
+        assert r["GTX8800"] >= 0.99 and r["GTX280"] >= 0.99, \
+            f"{r['algorithm']} regressed"

@@ -1,0 +1,36 @@
+"""Figure 12 — dissection of the compilation steps (geometric mean).
+
+Paper findings we assert: thread/thread-block merge has the largest
+impact; vectorization is neutral on the scalar inputs; prefetching shows
+little impact; partition-camping elimination matters more on GTX 280.
+"""
+
+from common import run_once, save_and_print
+
+from repro.bench import format_table
+from repro.bench.figures import STAGES, fig12_dissection
+
+
+def test_fig12_step_dissection(benchmark):
+    data = run_once(benchmark, fig12_dissection, 2048)
+    table = format_table(
+        ["stage"] + list(data.keys()),
+        [[stage] + [data[m][stage] for m in data] for stage in STAGES],
+        "Figure 12: cumulative speedup over naive after each step")
+    save_and_print("fig12_step_dissection", table)
+
+    for machine, stages in data.items():
+        # Vectorization neutral on scalar inputs (paper Section 6.2).
+        assert abs(stages["+vectorize"] - 1.0) < 0.01
+        # Coalescing conversion is a big jump...
+        assert stages["+coalesce"] > 2.0
+        # ...and merge adds the largest remaining share.
+        assert stages["+merge"] > 1.5 * stages["+coalesce"] or \
+            stages["+merge"] > stages["+coalesce"] + 1.0
+        # Prefetching shows little impact.
+        assert abs(stages["+prefetch"] - stages["+merge"]) \
+            < 0.25 * stages["+merge"]
+    # Partition-camping elimination matters more on GTX 280.
+    gain280 = data["GTX280"]["+partition"] / data["GTX280"]["+prefetch"]
+    gain8800 = data["GTX8800"]["+partition"] / data["GTX8800"]["+prefetch"]
+    assert gain280 >= gain8800

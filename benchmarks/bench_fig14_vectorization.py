@@ -1,0 +1,29 @@
+"""Figure 14 — reduction over complex numbers, with/without vectorization.
+
+Paper: the float2-vectorized kernel significantly outperforms the
+variant that must stage the strided real/imaginary pairs through shared
+memory (``optimized_wo_vec``), both from bandwidth and from the extra
+shared-memory traffic.
+"""
+
+from common import run_once, save_and_print
+
+from repro.bench import format_table
+from repro.bench.figures import fig14_vectorization
+
+
+def test_fig14_vectorization(benchmark):
+    rows = run_once(benchmark, fig14_vectorization)
+    table = format_table(
+        ["elements", "optimized GFLOPS", "optimized_wo_vec GFLOPS",
+         "gain"],
+        [[r["elements"], r["optimized_gflops"],
+          r["optimized_wo_vec_gflops"],
+          r["optimized_gflops"] / r["optimized_wo_vec_gflops"]]
+         for r in rows],
+        "Figure 14: complex reduction, vectorization effect (GTX 280)")
+    save_and_print("fig14_vectorization", table)
+
+    for r in rows:
+        gain = r["optimized_gflops"] / r["optimized_wo_vec_gflops"]
+        assert gain > 1.3, "vectorization should significantly help"

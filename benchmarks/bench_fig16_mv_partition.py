@@ -1,0 +1,31 @@
+"""Figure 16 — mv: naive / Opti_PC / optimized / CUBLAS (GTX 280).
+
+Paper: even without partition-camping elimination the optimized kernel
+(Opti_PC) beats CUBLAS; the address-offset insertion improves it further
+(diagonal reordering cannot apply — the grid is one-dimensional).
+"""
+
+from common import run_once, save_and_print
+
+from repro.bench import format_table
+from repro.bench.figures import fig16_mv
+
+
+def test_fig16_mv_partition(benchmark):
+    rows = run_once(benchmark, fig16_mv)
+    table = format_table(
+        ["scale", "naive", "Opti_PC", "optimized", "CUBLAS"],
+        [[r["scale"], r["naive_gflops"], r["opti_pc_gflops"],
+          r["optimized_gflops"], r["cublas_gflops"]] for r in rows],
+        "Figure 16: mv GFLOPS (GTX 280)")
+    save_and_print("fig16_mv_partition", table)
+
+    for r in rows:
+        # Opti_PC already beats CUBLAS...
+        assert r["opti_pc_gflops"] > r["cublas_gflops"]
+        # ...and offset insertion improves it further at camping sizes.
+        assert r["optimized_gflops"] >= r["opti_pc_gflops"]
+        assert r["optimized_gflops"] > 5 * r["naive_gflops"]
+    camped = [r for r in rows if r["scale"] in (2048, 4096)]
+    for r in camped:
+        assert r["optimized_gflops"] > 1.2 * r["opti_pc_gflops"]

@@ -1,0 +1,103 @@
+"""Command-line interface: compile a naive kernel file.
+
+Usage::
+
+    python -m repro KERNEL.cu --size n=2048 --size m=2048 --size w=2048 \
+        --domain 2048x2048 [--machine GTX280] [--explore] [--stage coalesce]
+
+Prints the optimized kernel, the launch configuration, the compiler's
+decision log, and the analytic performance estimate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.compiler import CompileOptions, compile_kernel
+from repro.explore import explore
+from repro.machine import MACHINES, machine
+from repro.sim.perf import estimate_compiled
+
+_STAGE_OPTIONS = {
+    "naive": CompileOptions(enable_vectorize=False, enable_coalesce=False,
+                            enable_merge=False, enable_prefetch=False,
+                            enable_partition=False),
+    "vectorize": CompileOptions(enable_coalesce=False, enable_merge=False,
+                                enable_prefetch=False,
+                                enable_partition=False),
+    "coalesce": CompileOptions(enable_merge=False, enable_prefetch=False,
+                               enable_partition=False),
+    "merge": CompileOptions(enable_prefetch=False, enable_partition=False),
+    "full": CompileOptions(),
+}
+
+
+def _parse_sizes(pairs):
+    sizes = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not value:
+            raise SystemExit(f"bad --size {pair!r}; expected name=value")
+        sizes[name] = int(value)
+    return sizes
+
+
+def _parse_domain(text):
+    x, _, y = text.partition("x")
+    return (int(x), int(y) if y else 1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Optimize a naive GPGPU kernel (PLDI 2010 pipeline).")
+    parser.add_argument("kernel", help="path to the naive kernel source")
+    parser.add_argument("--size", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="bind an integer size parameter (repeatable)")
+    parser.add_argument("--domain", required=True, metavar="XxY",
+                        help="output domain, e.g. 2048x2048 or 4096")
+    parser.add_argument("--machine", default="GTX280",
+                        choices=sorted(MACHINES))
+    parser.add_argument("--stage", default="full",
+                        choices=sorted(_STAGE_OPTIONS),
+                        help="stop after a cumulative optimization stage")
+    parser.add_argument("--explore", action="store_true",
+                        help="empirically search merge factors (Section 4)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the optimized kernel")
+    args = parser.parse_args(argv)
+
+    with open(args.kernel) as f:
+        source = f.read()
+    sizes = _parse_sizes(args.size)
+    domain = _parse_domain(args.domain)
+    mach = machine(args.machine)
+
+    if args.explore:
+        result = explore(source, sizes, domain, mach)
+        compiled = result.best.compiled
+    else:
+        compiled = compile_kernel(source, sizes, domain, mach,
+                                  _STAGE_OPTIONS[args.stage])
+
+    print(compiled.source, end="")
+    if args.quiet:
+        return 0
+    print()
+    print(f"// launch: {compiled.config}")
+    print(f"// shared memory: {compiled.plan.shared_mem_bytes} B/block, "
+          f"~{compiled.plan.est_registers_per_thread} regs/thread")
+    est = estimate_compiled(compiled)
+    print(f"// predicted on {mach.name}: {est.time_s * 1e3:.3f} ms "
+          f"({est.bound_by}-bound, {est.occupancy.warps_per_sm} warps/SM)")
+    print("//")
+    print("// decision log:")
+    for line in compiled.log:
+        print(f"//   {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Benchmark harness: per-figure data producers and table rendering."""
+
+from repro.bench.report import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,275 @@
+"""Data producers for every table and figure in the paper's evaluation.
+
+Each ``figNN_*`` function returns plain rows (lists/dicts) that the
+``benchmarks/`` scripts print and the integration tests assert shape
+properties on (who wins, where crossovers fall).  All numbers come from
+the analytic simulator — see EXPERIMENTS.md for the paper-vs-measured
+comparison discipline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler import CompiledKernel, CompileOptions, compile_kernel, \
+    compile_stages
+from repro.explore import explore
+from repro.kernels.baselines import BASELINES, rd_cublas
+from repro.kernels.naive import RD_COMPLEX
+from repro.kernels.suite import ALGORITHMS, Algorithm, table1_rows
+from repro.lang.parser import parse_kernel
+from repro.machine import GTX280, GTX8800, GpuSpec
+from repro.reduction import ReductionPlan, compile_reduction
+from repro.sim.interp import LaunchConfig
+from repro.sim.perf import estimate, estimate_compiled, estimate_reduction
+
+NAIVE_OPTIONS = CompileOptions(
+    enable_vectorize=False, enable_coalesce=False, enable_merge=False,
+    enable_prefetch=False, enable_partition=False)
+
+_RD_STEP = """
+__global__ void rdstep(float a[n], int n, int s) {
+    if (idx < s)
+        a[idx] += a[idx + s];
+}
+"""
+
+
+def compile_naive(algo: Algorithm, scale: int,
+                  machine: GpuSpec) -> CompiledKernel:
+    sizes = algo.sizes(scale)
+    return compile_kernel(algo.source, sizes, algo.domain(sizes), machine,
+                          NAIVE_OPTIONS)
+
+
+def compile_optimized(algo: Algorithm, scale: int,
+                      machine: GpuSpec) -> CompiledKernel:
+    sizes = algo.sizes(scale)
+    return compile_kernel(algo.source, sizes, algo.domain(sizes), machine)
+
+
+def _naive_reduction_time(n: int, machine: GpuSpec) -> float:
+    """Total time of the naive grid-synchronized reduction: one launch per
+    halving step (a grid barrier is a kernel boundary on real hardware)."""
+    kernel = parse_kernel(_RD_STEP)
+    total = 0.0
+    s = n // 2
+    while s >= 1:
+        threads = max(16, min(n, 1 << int(math.ceil(math.log2(max(s, 1))))))
+        block = min(256, threads)
+        grid = max(1, threads // block)
+        est = estimate(kernel, {"n": n, "s": s},
+                       LaunchConfig(grid=(grid, 1), block=(block, 1)),
+                       machine)
+        total += est.time_s + machine.launch_overhead_s
+        s //= 2
+    return total
+
+
+def _optimized_reduction_time(n: int, machine: GpuSpec,
+                              plan: Optional[ReductionPlan] = None) -> float:
+    from repro.kernels.naive import RD
+    compiled = compile_reduction(RD, n, machine, plan=plan)
+    return estimate_reduction(compiled, machine).time_s
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+def table1() -> List[Dict[str, object]]:
+    return table1_rows()
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — mm design space (merge factors), GTX 280
+# ---------------------------------------------------------------------------
+
+def fig10_design_space(scale: int = 2048, machine: GpuSpec = GTX280):
+    algo = ALGORITHMS["mm"]
+    sizes = algo.sizes(scale)
+    result = explore(algo.source, sizes, algo.domain(sizes), machine)
+    flops = algo.flops(sizes)
+    rows = []
+    for v in result.versions:
+        rows.append({
+            "block_merge": v.block_merge,
+            "thread_merge": v.thread_merge,
+            "feasible": v.feasible,
+            "gflops": (flops / v.time_s / 1e9) if v.feasible else 0.0,
+        })
+    best = result.best
+    return rows, (best.block_merge, best.thread_merge)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — speedups of optimized over naive, both GPUs
+# ---------------------------------------------------------------------------
+
+def fig11_speedups(scale: int = 2048,
+                   machines: Sequence[GpuSpec] = (GTX8800, GTX280)):
+    rows = []
+    for name, algo in ALGORITHMS.items():
+        row: Dict[str, object] = {"algorithm": name}
+        for machine in machines:
+            if algo.uses_global_sync:
+                n = algo.default_scale
+                naive_t = _naive_reduction_time(n, machine)
+                opt_t = _optimized_reduction_time(n, machine)
+            else:
+                naive_t = estimate_compiled(
+                    compile_naive(algo, scale, machine)).time_s
+                opt_t = estimate_compiled(
+                    compile_optimized(algo, scale, machine)).time_s
+            row[machine.name] = naive_t / opt_t
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — cumulative per-step dissection (geometric mean)
+# ---------------------------------------------------------------------------
+
+STAGES = ("naive", "+vectorize", "+coalesce", "+merge", "+prefetch",
+          "+partition")
+
+
+def fig12_dissection(scale: int = 2048,
+                     machines: Sequence[GpuSpec] = (GTX8800, GTX280)):
+    """Speedup over naive after each cumulative stage, per machine.
+
+    rd is excluded (its pipeline is the reduction path); the paper's
+    geometric mean includes it, ours is over the other nine kernels.
+    """
+    per_machine: Dict[str, Dict[str, float]] = {}
+    for machine in machines:
+        speedups: Dict[str, List[float]] = {s: [] for s in STAGES}
+        for name, algo in ALGORITHMS.items():
+            if algo.uses_global_sync:
+                continue
+            sizes = algo.sizes(scale)
+            stages = compile_stages(algo.source, sizes, algo.domain(sizes),
+                                    machine)
+            naive_t = estimate_compiled(stages["naive"]).time_s
+            for stage_name, compiled in stages.items():
+                t = estimate_compiled(compiled).time_s
+                speedups[stage_name].append(naive_t / t)
+        from repro.bench.report import geomean
+        per_machine[machine.name] = {
+            s: geomean(v) for s, v in speedups.items()}
+    return per_machine
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — optimized vs CUBLAS 2.2, GTX 280
+# ---------------------------------------------------------------------------
+
+CUBLAS_PAIRS = {
+    "tmv": "tmv_cublas",
+    "mm": "mm_cublas",
+    "mv": "mv_cublas",
+    "vv": "vv_cublas",
+    "strsm": "strsm_cublas",
+}
+
+
+def fig13_vs_cublas(scales: Sequence[int] = (1024, 2048, 4096),
+                    machine: GpuSpec = GTX280):
+    rows = []
+    for name, baseline_name in CUBLAS_PAIRS.items():
+        algo = ALGORITHMS[name]
+        baseline = BASELINES[baseline_name]
+        for scale in scales:
+            sizes = algo.sizes(scale)
+            flops = algo.flops(sizes)
+            ours = estimate_compiled(
+                compile_optimized(algo, scale, machine))
+            base = baseline.estimate(sizes, machine)
+            rows.append({
+                "algorithm": name, "scale": scale,
+                "ours_gflops": flops / ours.time_s / 1e9,
+                "cublas_gflops": flops / base.time_s / 1e9,
+            })
+    # Reduction: compiler's fissioned tree vs cublasSasum-style baseline.
+    for n in (1 << 20, 1 << 22, 1 << 24):
+        ours_t = _optimized_reduction_time(n, machine)
+        base_t = estimate_reduction(rd_cublas(n, machine), machine).time_s
+        rows.append({
+            "algorithm": "rd", "scale": n,
+            "ours_gflops": n / ours_t / 1e9,
+            "cublas_gflops": n / base_t / 1e9,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 — reduction on complex numbers, with/without vectorization
+# ---------------------------------------------------------------------------
+
+def fig14_vectorization(scales: Sequence[int] = (1 << 20, 1 << 22, 1 << 24),
+                        machine: GpuSpec = GTX280):
+    rows = []
+    for n in scales:
+        with_vec = compile_reduction(RD_COMPLEX, n, machine, vectorize=True)
+        without = compile_reduction(RD_COMPLEX, n, machine, vectorize=False)
+        t_vec = estimate_reduction(with_vec, machine).time_s
+        t_wo = estimate_reduction(without, machine).time_s
+        rows.append({
+            "elements": n,
+            "optimized_gflops": 2 * n / t_vec / 1e9,
+            "optimized_wo_vec_gflops": 2 * n / t_wo / 1e9,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 15 — transpose vs the SDK kernels
+# ---------------------------------------------------------------------------
+
+def fig15_transpose(scales: Sequence[int] = (1024, 2048, 3072, 4096, 8192),
+                    machine: GpuSpec = GTX280):
+    algo = ALGORITHMS["tp"]
+    rows = []
+    for scale in scales:
+        sizes = algo.sizes(scale)
+        useful = algo.bytes_moved(sizes)
+        ours = estimate_compiled(compile_optimized(algo, scale, machine))
+        prev = BASELINES["tp_sdk_prev"].estimate(sizes, machine)
+        new = BASELINES["tp_sdk_new"].estimate(sizes, machine)
+        naive = estimate_compiled(compile_naive(algo, scale, machine))
+        rows.append({
+            "scale": scale,
+            "naive_gbps": useful / naive.time_s / 1e9,
+            "sdk_prev_gbps": useful / prev.time_s / 1e9,
+            "sdk_new_gbps": useful / new.time_s / 1e9,
+            "optimized_gbps": useful / ours.time_s / 1e9,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 16 — mv with/without partition-camping elimination
+# ---------------------------------------------------------------------------
+
+def fig16_mv(scales: Sequence[int] = (1024, 2048, 4096),
+             machine: GpuSpec = GTX280):
+    algo = ALGORITHMS["mv"]
+    rows = []
+    for scale in scales:
+        sizes = algo.sizes(scale)
+        flops = algo.flops(sizes)
+        naive = estimate_compiled(compile_naive(algo, scale, machine))
+        no_pc = estimate_compiled(compile_kernel(
+            algo.source, sizes, algo.domain(sizes), machine,
+            CompileOptions(enable_partition=False)))
+        opt = estimate_compiled(compile_optimized(algo, scale, machine))
+        cublas = BASELINES["mv_cublas"].estimate(sizes, machine)
+        rows.append({
+            "scale": scale,
+            "naive_gflops": flops / naive.time_s / 1e9,
+            "opti_pc_gflops": flops / no_pc.time_s / 1e9,
+            "optimized_gflops": flops / opt.time_s / 1e9,
+            "cublas_gflops": flops / cublas.time_s / 1e9,
+        })
+    return rows

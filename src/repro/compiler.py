@@ -1,0 +1,324 @@
+"""Top-level compiler driver: naive kernel in, optimized kernel + launch out.
+
+Mirrors the paper's Figure 1 pipeline::
+
+    naive kernel
+      -> vectorization (3.1)
+      -> coalescing check + conversion (3.2, 3.3)     [plan, then generate]
+      -> data-sharing analysis (3.4)
+      -> thread / thread-block merge (3.5)
+      -> partition-camping elimination (3.7)
+      -> data prefetching (3.6, skipped under register pressure)
+      -> optimized kernel + launch configuration
+
+Thread-block merge is realized by *regenerating* the staging for the merged
+block shape (see :mod:`repro.passes.coalesce_transform`), so the driver
+first plans on a scratch copy and then rebuilds from the naive kernel.
+
+Every stage can be disabled independently, which is how the Figure 12
+step-dissection benchmark measures each optimization's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.lang.astnodes import Kernel, SyncStmt, walk_stmts
+from repro.lang.parser import parse_kernel
+from repro.lang.printer import print_kernel
+from repro.lang.semantic import check_kernel
+from repro.machine import GTX280, GpuSpec
+from repro.passes.base import CompilationContext, PassError
+from repro.passes.coalesce_transform import CoalesceTransformPass, HALF_WARP
+from repro.passes.launch import LaunchPass, LaunchPlan
+from repro.passes.merge import ThreadMergePass
+from repro.passes.partition import PartitionCampingPass
+from repro.passes.prefetch import PrefetchPass
+from repro.passes.sharing import MergePlan, plan_merges
+from repro.passes.vectorize import VectorizePass
+from repro.sim.interp import Interpreter, LaunchConfig
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Stage toggles and merge-factor overrides.
+
+    ``None`` factors mean "let the planner choose" (the empirical search of
+    Section 4 sweeps them via :mod:`repro.explore`).
+    """
+
+    enable_vectorize: bool = True
+    enable_coalesce: bool = True
+    enable_merge: bool = True
+    enable_prefetch: bool = True
+    enable_partition: bool = True
+
+    block_merge_x: Optional[int] = None   # blocks merged along X (xN)
+    block_merge_y: Optional[int] = None
+    thread_merge_x: Optional[int] = None  # work items per thread along X
+    thread_merge_y: Optional[int] = None
+
+    # Section 4.1: the compiler tries 128 / 256 / 512 threads per block.
+    target_threads: int = 256
+
+
+def uses_global_sync(kernel: Kernel) -> bool:
+    return any(isinstance(s, SyncStmt) and s.scope == "global"
+               for s in walk_stmts(kernel.body))
+
+
+@dataclass
+class CompiledKernel:
+    """The compiler's output: optimized AST, source text, launch config."""
+
+    name: str
+    kernel: Kernel
+    config: LaunchConfig
+    plan: LaunchPlan
+    ctx: CompilationContext
+    merge_plan: Optional[MergePlan]
+    source: str
+
+    @property
+    def log(self) -> List[str]:
+        return self.ctx.log
+
+    def size_bindings(self) -> Dict[str, int]:
+        """Scalar size bindings, with vector-halved extents adjusted."""
+        out = dict(self.ctx.sizes)
+        for name in self.ctx.halved_extents:
+            out[name] = out[name] // 2
+        return out
+
+    def run(self, arrays: Dict[str, np.ndarray],
+            scalars: Optional[Dict[str, object]] = None,
+            trace=None) -> None:
+        """Execute on the functional simulator; ``arrays`` mutate in place.
+
+        Float arrays for ``float2`` parameters may be passed flat; they are
+        viewed as ``(n/2, 2)`` automatically.
+        """
+        bound = dict(arrays)
+        for p in self.kernel.array_params():
+            if p.type.lanes > 1 and p.name in bound:
+                arr = bound[p.name]
+                if arr.ndim == len(p.dims):
+                    bound[p.name] = arr.reshape(arr.shape[:-1]
+                                                + (arr.shape[-1]
+                                                   // p.type.lanes,
+                                                   p.type.lanes))
+        merged = self.size_bindings()
+        if scalars:
+            merged.update(scalars)
+        args = {p.name: merged[p.name]
+                for p in self.kernel.scalar_params()}
+        Interpreter(self.kernel, trace=trace).run(self.config, bound, args)
+
+
+def compile_kernel(source: Union[str, Kernel],
+                   sizes: Dict[str, int],
+                   domain: Tuple[int, int],
+                   machine: GpuSpec = GTX280,
+                   options: Optional[CompileOptions] = None,
+                   ) -> CompiledKernel:
+    """Compile one naive kernel (see module docstring)."""
+    options = options or CompileOptions()
+    naive = parse_kernel(source) if isinstance(source, str) else source
+    check_kernel(naive, mode="naive")
+    if uses_global_sync(naive):
+        raise PassError(
+            "kernels with __global_sync take the reduction path; use "
+            "repro.reduction.compile_reduction")
+
+    # Retry with smaller blocks when a staging layout exceeds shared memory
+    # or the thread cap (the compiler tries 512/256/128... threads,
+    # Section 4.1).
+    target = options.target_threads
+    last_error: Optional[PassError] = None
+    while target >= HALF_WARP:
+        try:
+            return _compile_once(naive, sizes, domain, machine,
+                                 replace(options, target_threads=target))
+        except PassError as exc:
+            last_error = exc
+            target //= 2
+    raise last_error
+
+
+def _naive_block(domain: Tuple[int, int],
+                 machine: GpuSpec) -> Tuple[int, int]:
+    """A plain programmer's launch for the un-optimized kernel: 16x16 for
+    2-D domains, 256x1 for 1-D, clamped to tile the domain exactly."""
+    if domain[1] > 1:
+        block = [HALF_WARP, HALF_WARP]
+    else:
+        block = [min(256, max(HALF_WARP, domain[0])), 1]
+    while block[0] > HALF_WARP and domain[0] % block[0]:
+        block[0] //= 2
+    while block[1] > 1 and domain[1] % block[1]:
+        block[1] //= 2
+    return (block[0], block[1])
+
+
+def _compile_once(naive: Kernel, sizes: Dict[str, int],
+                  domain: Tuple[int, int], machine: GpuSpec,
+                  options: CompileOptions) -> CompiledKernel:
+    # -- stage 1: vectorization on the naive kernel -------------------------
+    work = naive.clone()
+    ctx = CompilationContext(kernel=work, sizes=dict(sizes), domain=domain,
+                             machine=machine)
+    if options.enable_vectorize:
+        VectorizePass().run(ctx)
+
+    # -- stage 2: plan merges on a scratch staging --------------------------
+    merge_plan: Optional[MergePlan] = None
+    block = (HALF_WARP, 1)
+    if options.enable_coalesce:
+        merge_plan = plan_merges(work, ctx.sizes, domain, machine)
+        for r in merge_plan.reasons:
+            ctx.note(f"plan: {r}")
+        if options.enable_merge:
+            block = _choose_block(merge_plan, options, domain, machine)
+
+    # -- stage 3: generate staging for the final block shape ----------------
+    if options.enable_coalesce:
+        coalesce = CoalesceTransformPass(block=block)
+        coalesce.run(ctx)
+    else:
+        ctx.block = _naive_block(domain, machine)
+
+    # -- stage 4: thread merge ----------------------------------------------
+    if options.enable_merge and merge_plan is not None:
+        tm_y = _thread_merge_factor(
+            options.thread_merge_y, merge_plan.thread_merge_y,
+            domain[1], ctx.block[1], default=16)
+        tm_x = _thread_merge_factor(
+            options.thread_merge_x, merge_plan.thread_merge_x,
+            domain[0], ctx.block[0], default=4)
+        if tm_y > 1:
+            ThreadMergePass("y", tm_y).run(ctx)
+        if tm_x > 1:
+            ThreadMergePass("x", tm_x).run(ctx)
+
+    # -- stage 5: partition camping -----------------------------------------
+    if options.enable_partition:
+        PartitionCampingPass().run(ctx)
+
+    # -- stage 6: prefetch (register budget permitting) ----------------------
+    if options.enable_prefetch:
+        if ctx.partition_fix == "offset":
+            ctx.note("prefetch: skipped (address-offset rotation makes the "
+                     "next-iteration source non-affine)")
+        elif not _registers_allow_prefetch(ctx):
+            ctx.note("prefetch: skipped, registers already consumed by "
+                     "thread merge (Section 6.2)")
+        else:
+            PrefetchPass().run(ctx)
+
+    # -- stage 7: index-expression cleanup ------------------------------------
+    from repro.passes.simplify import SimplifyPass
+    SimplifyPass().run(ctx)
+
+    # -- stage 8: launch parameters ------------------------------------------
+    launch = LaunchPass()
+    launch.run(ctx)
+    check_kernel(ctx.kernel, mode="optimized")
+    return CompiledKernel(
+        name=ctx.kernel.name, kernel=ctx.kernel, config=launch.plan.config,
+        plan=launch.plan, ctx=ctx, merge_plan=merge_plan,
+        source=print_kernel(ctx.kernel))
+
+
+# ---------------------------------------------------------------------------
+# Planner heuristics
+# ---------------------------------------------------------------------------
+
+def _choose_block(plan: MergePlan, options: CompileOptions,
+                  domain: Tuple[int, int], machine: GpuSpec
+                  ) -> Tuple[int, int]:
+    if plan.transpose_tile:
+        return (HALF_WARP, HALF_WARP)
+    bx_factor = 1
+    if plan.block_merge_x or plan.block_for_threads:
+        bx_factor = options.block_merge_x or \
+            max(1, options.target_threads // HALF_WARP)
+    elif options.block_merge_x:
+        bx_factor = options.block_merge_x
+    by = 1
+    if plan.block_merge_y:
+        by = options.block_merge_y or 4
+    elif options.block_merge_y:
+        by = options.block_merge_y
+    bx = HALF_WARP * bx_factor
+    # Respect the domain and the hardware block-size cap.
+    while bx > HALF_WARP and bx > domain[0]:
+        bx //= 2
+    while by > 1 and by > domain[1]:
+        by //= 2
+    while bx * by > machine.max_threads_per_block and bx > HALF_WARP:
+        bx //= 2
+    while bx * by > machine.max_threads_per_block and by > 1:
+        by //= 2
+    # The block must tile the output domain exactly (naive kernels carry
+    # no boundary guards; the paper's inputs are padded multiples).
+    while bx > HALF_WARP and domain[0] % bx:
+        bx //= 2
+    while by > 1 and domain[1] % by:
+        by //= 2
+    return (bx, by)
+
+
+def _thread_merge_factor(override: Optional[int], planned: bool,
+                         extent: int, block_dim: int, default: int) -> int:
+    factor = override if override is not None else (default if planned else 1)
+    if factor <= 1:
+        return 1
+    # The merged coverage must divide the domain extent.
+    while factor > 1 and extent % (block_dim * factor):
+        factor //= 2
+    return max(1, factor)
+
+
+def _registers_allow_prefetch(ctx: CompilationContext) -> bool:
+    machine = ctx.machine
+    threads = ctx.threads_per_block
+    if threads == 0:
+        return False
+    # Aim to keep at least two blocks resident per SM (latency hiding).
+    budget = machine.registers_per_sm // (threads * 2)
+    # Prefetch double-buffers every (replicated) G2S load through its own
+    # register temp — after an N-way thread merge that is ~N new registers
+    # (paper Section 6.2: the reason prefetching is usually skipped).
+    temps = max(1, ctx.thread_merge[0] * ctx.thread_merge[1])
+    return ctx.est_registers + temps <= budget
+
+
+def compile_stages(source: Union[str, Kernel], sizes: Dict[str, int],
+                   domain: Tuple[int, int], machine: GpuSpec = GTX280,
+                   options: Optional[CompileOptions] = None,
+                   ) -> Dict[str, CompiledKernel]:
+    """Compile cumulative optimization stages (the Figure 12 dissection).
+
+    Returns kernels for: ``naive`` (parsed, block 16x1), ``+vectorize``,
+    ``+coalesce``, ``+merge``, ``+prefetch``, ``+partition`` (= full).
+    """
+    base = options or CompileOptions()
+    stage_opts = {
+        "naive": replace(base, enable_vectorize=False, enable_coalesce=False,
+                         enable_merge=False, enable_prefetch=False,
+                         enable_partition=False),
+        "+vectorize": replace(base, enable_coalesce=False,
+                              enable_merge=False, enable_prefetch=False,
+                              enable_partition=False),
+        "+coalesce": replace(base, enable_merge=False, enable_prefetch=False,
+                             enable_partition=False),
+        "+merge": replace(base, enable_prefetch=False,
+                          enable_partition=False),
+        "+prefetch": replace(base, enable_partition=False),
+        "+partition": base,
+    }
+    return {name: compile_kernel(source, sizes, domain, machine, opt)
+            for name, opt in stage_opts.items()}

@@ -1,0 +1,106 @@
+"""Design-space exploration (paper Section 4, Figure 10).
+
+The number of thread blocks to merge and the degree of thread merge have a
+non-linear effect on performance, so the compiler "generates multiple
+versions of code and resorts to an empirical search by test running each
+version" (Section 4.1).  Here the test run is the analytic performance
+model — the same substitution DESIGN.md documents for the GPU itself —
+and the search sweeps the paper's ranges:
+
+* thread-block merge: 8, 16, or 32 blocks (128/256/512 threads);
+* thread merge: 4, 8, 16, or 32 work items per thread.
+
+The paper also notes the optimum depends on the input size, which is why
+``explore`` takes concrete size bindings and Figure 10 is swept per size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.compiler import CompiledKernel, CompileOptions, compile_kernel
+from repro.machine import GTX280, GpuSpec
+from repro.passes.base import PassError
+from repro.sim.perf import PerfEstimate, estimate_compiled
+
+# Section 4.1's candidate factors.
+BLOCK_MERGE_FACTORS = (4, 8, 16, 32)
+THREAD_MERGE_FACTORS = (1, 4, 8, 16, 32)
+
+
+@dataclass
+class Version:
+    """One explored code version and its predicted performance."""
+
+    block_merge: int
+    thread_merge: int
+    compiled: Optional[CompiledKernel]
+    estimate: Optional[PerfEstimate]
+    error: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.compiled is not None
+
+    @property
+    def time_s(self) -> float:
+        return self.estimate.time_s if self.estimate else float("inf")
+
+
+@dataclass
+class ExplorationResult:
+    """The swept design space plus the winning version."""
+
+    versions: List[Version]
+    best: Version
+
+    def grid(self) -> Dict[Tuple[int, int], float]:
+        """(block_merge, thread_merge) -> time, for plotting Figure 10."""
+        return {(v.block_merge, v.thread_merge): v.time_s
+                for v in self.versions}
+
+
+def explore(source: str, sizes: Dict[str, int], domain: Tuple[int, int],
+            machine: GpuSpec = GTX280,
+            block_factors: Sequence[int] = BLOCK_MERGE_FACTORS,
+            thread_factors: Sequence[int] = THREAD_MERGE_FACTORS,
+            base_options: Optional[CompileOptions] = None,
+            ) -> ExplorationResult:
+    """Sweep merge factors and pick the best-performing version."""
+    base = base_options or CompileOptions()
+    versions: List[Version] = []
+    for bm in block_factors:
+        for tm in thread_factors:
+            options = CompileOptions(
+                enable_vectorize=base.enable_vectorize,
+                enable_coalesce=base.enable_coalesce,
+                enable_merge=True,
+                enable_prefetch=base.enable_prefetch,
+                enable_partition=base.enable_partition,
+                block_merge_x=bm,
+                block_merge_y=base.block_merge_y,
+                thread_merge_x=base.thread_merge_x,
+                thread_merge_y=tm,
+                target_threads=16 * bm)
+            try:
+                compiled = compile_kernel(source, sizes, domain, machine,
+                                          options)
+                est = estimate_compiled(compiled)
+                versions.append(Version(bm, tm, compiled, est))
+            except PassError as exc:
+                versions.append(Version(bm, tm, None, None, str(exc)))
+    feasible = [v for v in versions if v.feasible]
+    if not feasible:
+        raise PassError("no feasible version in the explored space")
+    best = min(feasible, key=lambda v: v.time_s)
+    return ExplorationResult(versions=versions, best=best)
+
+
+def autotune(source: str, sizes: Dict[str, int], domain: Tuple[int, int],
+             machine: GpuSpec = GTX280,
+             **kwargs) -> CompiledKernel:
+    """Compile with the empirically best merge factors (the full paper
+    pipeline: optimize, generate versions, search, emit the winner)."""
+    result = explore(source, sizes, domain, machine, **kwargs)
+    return result.best.compiled

@@ -1,0 +1,189 @@
+"""Inter-thread-block data-sharing analysis (paper Section 3.4).
+
+The compiler has already associated a coalesced segment range with every
+global load; two thread blocks *share* data when those ranges overlap.  As
+in the paper, we check neighboring blocks along the X and Y directions.
+
+Two tests, both on the affine address form:
+
+* **Full sharing** — the address change between block ``b`` and ``b+1``
+  along the direction is zero (``coeff(bidx) + coeff(idx)*blockDim.x == 0``
+  for X): the blocks read *identical* addresses.  Exact at any size.
+* **Partial sharing** — otherwise, enumerate the element sets touched by
+  block 0 and block 1 over the thread range and (capped) loop domains and
+  intersect them.  This catches stencil-halo overlap without the
+  overstatement interval arithmetic would give for strided footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.ir.access import AccessInfo
+from repro.ir.affine import AffineExpr
+from repro.ir.segments import HALF_WARP
+
+# Cap on enumerated loop iterations per loop when computing footprints.
+_LOOP_SAMPLE_CAP = 24
+
+
+class SharingKind(Enum):
+    NONE = "none"
+    PARTIAL = "partial"
+    FULL = "full"
+
+
+@dataclass
+class Sharing:
+    """Sharing verdict for one access along one grid direction."""
+
+    access: AccessInfo
+    direction: str            # 'x' | 'y'
+    kind: SharingKind
+    block_delta: int          # address change between neighboring blocks
+    overlap_fraction: float   # |footprint(b0) ∩ footprint(b1)| / |footprint(b0)|
+
+
+def block_delta(address: AffineExpr, direction: str,
+                block_dims: Tuple[int, int]) -> int:
+    """Address change when the block id along ``direction`` increases by 1."""
+    bdimx, bdimy = block_dims
+    if direction == "x":
+        return address.coeff("bidx") + address.coeff("idx") * bdimx
+    return address.coeff("bidy") + address.coeff("idy") * bdimy
+
+
+def _loop_values(access: AccessInfo) -> List[Dict[str, int]]:
+    """Sampled bindings for the access's loop iterators (cross product)."""
+    combos: List[Dict[str, int]] = [{}]
+    for loop in access.loops:
+        start = 0
+        if loop.start is not None and loop.start.is_constant:
+            start = loop.start.const
+        step = loop.step if loop.step else 1
+        trips = None
+        if loop.bound is not None and loop.bound.is_constant \
+                and loop.step:
+            trips = max(0, -(-(loop.bound.const - start) // loop.step))
+        count = min(trips if trips is not None else _LOOP_SAMPLE_CAP,
+                    _LOOP_SAMPLE_CAP)
+        values = [start + k * step for k in range(max(1, count))]
+        combos = [dict(c, **{loop.name: v}) for c in combos for v in values]
+        if len(combos) > 4096:
+            combos = combos[:4096]
+    return combos
+
+
+def footprint_set(access: AccessInfo, block: Tuple[int, int],
+                  block_dims: Tuple[int, int]) -> Set[int]:
+    """Element addresses touched by one thread block (loops capped)."""
+    if access.address is None:
+        raise ValueError(f"{access} has no resolved address")
+    bdimx, bdimy = block_dims
+    bidx, bidy = block
+    addrs: Set[int] = set()
+    loop_combos = _loop_values(access)
+    for tidy in range(bdimy):
+        for tidx in range(bdimx):
+            base = {
+                "tidx": tidx, "tidy": tidy,
+                "bidx": bidx, "bidy": bidy,
+                "bdimx": bdimx, "bdimy": bdimy,
+                "idx": bidx * bdimx + tidx,
+                "idy": bidy * bdimy + tidy,
+            }
+            for combo in loop_combos:
+                binding = dict(base, **combo)
+                try:
+                    addrs.add(access.eval_address(binding))
+                except (KeyError, ZeroDivisionError):
+                    # A free symbolic term (e.g. unresolved size): treat its
+                    # value as 0 — relative overlap is what matters.
+                    binding = dict(binding)
+                    for t in access.address.terms:
+                        binding.setdefault(t, 0)
+                    try:
+                        addrs.add(access.eval_address(binding))
+                    except (KeyError, ZeroDivisionError):
+                        return addrs
+    return addrs
+
+
+def analyze_sharing(accesses: List[AccessInfo],
+                    block_dims: Tuple[int, int] = (HALF_WARP, 1),
+                    ) -> List[Sharing]:
+    """Sharing verdicts for every resolved global *load* in ``accesses``."""
+    results: List[Sharing] = []
+    for acc in accesses:
+        if acc.space != "global" or acc.is_store or not acc.resolved:
+            continue
+        for direction in ("x", "y"):
+            delta = block_delta(acc.address, direction, block_dims)
+            if delta == 0:
+                results.append(Sharing(acc, direction, SharingKind.FULL,
+                                       0, 1.0))
+                continue
+            base = footprint_set(acc, (0, 0), block_dims)
+            neighbor_block = (1, 0) if direction == "x" else (0, 1)
+            neighbor = footprint_set(acc, neighbor_block, block_dims)
+            inter = len(base & neighbor)
+            frac = inter / len(base) if base else 0.0
+            kind = SharingKind.PARTIAL if inter else SharingKind.NONE
+            results.append(Sharing(acc, direction, kind, delta, frac))
+    return results
+
+
+@dataclass
+class ArraySharing:
+    """Sharing verdict for *all* loads of one array along one direction.
+
+    Catches stencil halos: ``a[idy][idx-1]`` and ``a[idy][idx+1]`` overlap
+    only when the per-array footprints (unions over every load) are
+    intersected across neighboring blocks.
+    """
+
+    array: str
+    direction: str
+    kind: SharingKind
+    overlap_fraction: float
+
+
+def analyze_array_sharing(accesses: List[AccessInfo],
+                          block_dims: Tuple[int, int] = (HALF_WARP, 1),
+                          ) -> List[ArraySharing]:
+    """Union-of-loads sharing per array (the stencil-halo detector)."""
+    by_array: Dict[str, List[AccessInfo]] = {}
+    for acc in accesses:
+        if acc.space == "global" and acc.is_load and acc.resolved:
+            by_array.setdefault(acc.array, []).append(acc)
+    results: List[ArraySharing] = []
+    for array, accs in sorted(by_array.items()):
+        for direction in ("x", "y"):
+            if all(block_delta(a.address, direction, block_dims) == 0
+                   for a in accs):
+                results.append(ArraySharing(array, direction,
+                                            SharingKind.FULL, 1.0))
+                continue
+            base: Set[int] = set()
+            neighbor: Set[int] = set()
+            nb = (1, 0) if direction == "x" else (0, 1)
+            for a in accs:
+                base |= footprint_set(a, (0, 0), block_dims)
+                neighbor |= footprint_set(a, nb, block_dims)
+            inter = len(base & neighbor)
+            frac = inter / len(base) if base else 0.0
+            kind = (SharingKind.FULL if frac == 1.0 else
+                    SharingKind.PARTIAL if inter else SharingKind.NONE)
+            results.append(ArraySharing(array, direction, kind, frac))
+    return results
+
+
+def sharing_by_direction(sharings: List[Sharing]) -> Dict[str, List[Sharing]]:
+    """Group the FULL/PARTIAL verdicts by direction."""
+    out: Dict[str, List[Sharing]] = {"x": [], "y": []}
+    for s in sharings:
+        if s.kind is not SharingKind.NONE:
+            out[s.direction].append(s)
+    return out

@@ -1,0 +1,52 @@
+"""The paper's four-way classification of array index expressions.
+
+Section 3.2 considers: *constant* indices, *predefined* indices (thread ids),
+*loop* indices (iterator variables), and *unresolved* indices (anything the
+compiler cannot analyze — those accesses are skipped, never transformed).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Mapping, Optional
+
+from repro.lang.astnodes import Expr
+from repro.lang.builtins import PREDEFINED_IDS
+from repro.ir.affine import AffineExpr, NotAffine, affine_of
+
+
+class IndexClass(Enum):
+    CONSTANT = "constant"
+    PREDEFINED = "predefined"
+    LOOP = "loop"
+    UNRESOLVED = "unresolved"
+
+
+def classify_affine(form: AffineExpr, loop_names: Iterable[str]) -> IndexClass:
+    """Classify an already-built affine index form."""
+    loop_names = set(loop_names)
+    if form.is_constant:
+        return IndexClass.CONSTANT
+    if any(name in loop_names for name in form.term_names()):
+        return IndexClass.LOOP
+    if all(name in PREDEFINED_IDS for name in form.term_names()):
+        return IndexClass.PREDEFINED
+    return IndexClass.UNRESOLVED
+
+
+def classify_index(expr: Expr,
+                   env: Optional[Mapping[str, AffineExpr]] = None,
+                   loop_names: Iterable[str] = ()) -> IndexClass:
+    """Classify a raw index expression (affine analysis + classification).
+
+    ``env`` should map loop iterators and affine locals to their forms; the
+    predefined ids are added automatically.
+    """
+    full_env = {name: AffineExpr.term(name) for name in PREDEFINED_IDS}
+    if env:
+        full_env.update(env)
+    try:
+        form = affine_of(expr, full_env)
+    except NotAffine:
+        return IndexClass.UNRESOLVED
+    return classify_affine(form, loop_names)

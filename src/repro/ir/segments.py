@@ -1,0 +1,124 @@
+"""Coalesced-segment math (paper Section 2/3.2).
+
+A *coalesced segment* is a contiguous, aligned region that one half warp can
+fetch in a single transaction: for ``float`` data it starts at a multiple of
+64 bytes (16 elements) and spans 64 bytes.  Given a half warp's 16 addresses,
+:func:`segments_for_halfwarp` returns the distinct segments touched — the
+quantity the timing model charges for, and what the staging transform loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ir.access import AccessInfo
+from repro.ir.affine import AffineExpr
+
+HALF_WARP = 16
+SEGMENT_ELEMS = 16  # one segment = 16 32-bit words = 64 bytes
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One aligned 64-byte window of an array, in element units."""
+
+    array: str
+    start: int          # element index, multiple of SEGMENT_ELEMS
+
+    @property
+    def end(self) -> int:
+        return self.start + SEGMENT_ELEMS
+
+    def __contains__(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+def halfwarp_addresses(access: AccessInfo,
+                       bindings: Mapping[str, int]) -> List[int]:
+    """The 16 element addresses issued by a half warp.
+
+    ``bindings`` fixes every non-thread term (block ids, iterators).  The
+    thread position ``t`` in the half warp drives both ``tidx`` and ``idx``
+    (``idx = idx0 + t`` for threads of one warp, per the CUDA thread-id
+    layout the paper describes in Section 2).
+    """
+    if access.address is None:
+        raise ValueError(f"access {access} has no resolved address")
+    addrs = []
+    for t in range(HALF_WARP):
+        local = dict(bindings)
+        local["tidx"] = bindings.get("tidx", 0) + t
+        local["idx"] = bindings.get("idx", 0) + t
+        addrs.append(access.eval_address(local))
+    return addrs
+
+
+def segments_for_addresses(array: str, addrs: Iterable[int],
+                           elem_lanes: int = 1) -> List[Segment]:
+    """Distinct segments covering ``addrs`` (element addresses).
+
+    ``elem_lanes`` scales vector elements (float2=2 lanes) into 32-bit word
+    units before segmenting, since segments are byte-addressed windows.
+    """
+    seen = {}
+    for a in addrs:
+        word = a * elem_lanes
+        start = (word // SEGMENT_ELEMS) * SEGMENT_ELEMS
+        span = max(1, elem_lanes)
+        # a vector element may straddle into the next segment
+        last = ((word + span - 1) // SEGMENT_ELEMS) * SEGMENT_ELEMS
+        seen[start] = True
+        seen[last] = True
+    return [Segment(array, s) for s in sorted(seen)]
+
+
+def segments_for_halfwarp(access: AccessInfo,
+                          bindings: Mapping[str, int]) -> List[Segment]:
+    """Segments one half warp touches for ``access`` under ``bindings``."""
+    addrs = halfwarp_addresses(access, bindings)
+    return segments_for_addresses(access.array, addrs, access.elem.lanes)
+
+
+def transactions_per_halfwarp(access: AccessInfo,
+                              bindings: Mapping[str, int]) -> int:
+    """Number of memory transactions one half warp needs (G80 rules).
+
+    A fully coalesced access costs 1; the worst case (16 scattered words)
+    costs 16.  This is what the analytic timing model charges.
+    """
+    return len(segments_for_halfwarp(access, bindings))
+
+
+def address_range(access: AccessInfo,
+                  bindings: Mapping[str, int],
+                  loop_domains: Optional[Mapping[str, Tuple[int, int]]] = None,
+                  ) -> Tuple[int, int]:
+    """Interval [lo, hi] of element addresses ``access`` can touch.
+
+    ``bindings`` fixes block ids; thread ids range over the half warp and
+    ``loop_domains`` gives [min, max] per iterator.  Interval arithmetic on
+    the affine form gives exact bounds.
+    """
+    if access.address is None:
+        raise ValueError(f"access {access} has no resolved address")
+    loop_domains = loop_domains or {}
+    lo = hi = access.address.const
+    for name, coeff in access.address.terms.items():
+        if name in ("tidx", "idx"):
+            base = coeff * bindings.get(name, 0)
+            span = coeff * (HALF_WARP - 1)
+            lo += base + min(0, span)
+            hi += base + max(0, span)
+        elif name in bindings:
+            v = coeff * bindings[name]
+            lo += v
+            hi += v
+        elif name in loop_domains:
+            a, b = loop_domains[name]
+            vals = (coeff * a, coeff * b)
+            lo += min(vals)
+            hi += max(vals)
+        else:
+            raise KeyError(f"unbound term {name!r} in address range")
+    return lo, hi

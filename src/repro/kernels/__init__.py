@@ -1,0 +1,5 @@
+"""The paper's evaluation kernels (Table 1), references, and baselines."""
+
+from repro.kernels.suite import ALGORITHMS, Algorithm, get_algorithm
+
+__all__ = ["ALGORITHMS", "Algorithm", "get_algorithm"]

@@ -1,0 +1,188 @@
+"""Naive kernel sources for the ten Table 1 algorithms (+ FFT, Section 7).
+
+Each kernel computes one output element at position ``(idx, idy)`` — the
+paper's input contract — with every array in global memory, no shared
+memory, and no thread-block structure.  Stencil kernels use shifted
+(non-negative) neighbor offsets over padded inputs, the usual way such
+naive kernels are written so that no access ever goes out of bounds.
+"""
+
+# 1. transpose matrix-vector multiplication: c = A^T b  (A is w x n).
+TMV = """
+__global__ void tmv(float a[w][n], float b[w], float c[n], int n, int w) {
+    float sum = 0;
+    for (int i = 0; i < w; i++)
+        sum += a[i][idx] * b[i];
+    c[idx] = sum;
+}
+"""
+
+# 2. matrix multiplication: C = A B  (paper Figure 2a).
+MM = """
+__global__ void mm(float a[n][w], float b[w][m], float c[n][m], int n, int m, int w) {
+    float sum = 0;
+    for (int i = 0; i < w; i++)
+        sum += a[idy][i] * b[i][idx];
+    c[idy][idx] = sum;
+}
+"""
+
+# 3. matrix-vector multiplication: c = A b  (paper Figure 2b).
+MV = """
+__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+    float sum = 0;
+    for (int i = 0; i < w; i++)
+        sum += a[idx][i] * b[i];
+    c[idx] = sum;
+}
+"""
+
+# 4. vector-vector (element-wise) multiplication.
+VV = """
+__global__ void vv(float a[n], float b[n], float c[n], int n) {
+    float va = a[idx];
+    float vb = b[idx];
+    c[idx] = va * vb;
+}
+"""
+
+# 5. reduction (sum), using the grid barrier naive kernels may rely on;
+#    the #pragma conveys the output array (paper Section 3).
+RD = """
+#pragma output a
+__global__ void rd(float a[n], int n) {
+    for (int s = n / 2; s > 0; s = s / 2) {
+        if (idx < s)
+            a[idx] += a[idx + s];
+        __global_sync();
+    }
+}
+"""
+
+# 5b. reduction over complex magnitudes (the Figure 14 study): the naive
+#     kernel reads real/imaginary parts as two strided floats.
+RD_COMPLEX = """
+#pragma output t
+__global__ void rdc(float a[n2], float t[n], int n2, int n) {
+    t[idx] = fabsf(a[2 * idx]) + fabsf(a[2 * idx + 1]);
+    __global_sync();
+    for (int s = n / 2; s > 0; s = s / 2) {
+        if (idx < s)
+            t[idx] += t[idx + s];
+        __global_sync();
+    }
+}
+"""
+
+# 6. triangular matrix equation solver (strsm): solve L X = B column-wise.
+#    Each thread owns output column idx; rows resolve sequentially.
+STRSM = """
+__global__ void strsm(float a[n][n], float b[n][m], float x[n][m], int n, int m) {
+    for (int i = 0; i < n; i++) {
+        float s = 0;
+        for (int j = 0; j < i; j++)
+            s += a[i][j] * x[j][idx];
+        x[i][idx] = (b[i][idx] - s) / a[i][i];
+    }
+}
+"""
+
+# 7. 2-D convolution over a padded image (kernel kh x kw).
+CONV = """
+__global__ void conv(float a[np_][mp], float f[kh][kw], float c[n][m], int n, int m, int np_, int mp, int kh, int kw) {
+    float sum = 0;
+    for (int ki = 0; ki < kh; ki++)
+        for (int kj = 0; kj < kw; kj++)
+            sum += a[idy + ki][idx + kj] * f[ki][kj];
+    c[idy][idx] = sum;
+}
+"""
+
+# 8. matrix transpose.
+TP = """
+__global__ void tp(float a[m][n], float c[n][m], int n, int m) {
+    c[idy][idx] = a[idx][idy];
+}
+"""
+
+# 9. demosaicing: bilinear reconstruction of RGB from an RGGB Bayer
+#    mosaic (padded by one pixel on each side; offsets are 0..2 with the
+#    true neighborhood centered at +1).
+DEMOSAIC = """
+__global__ void demosaic(float a[np_][mp], float r[n][m], float g[n][m], float bl[n][m], int n, int m, int np_, int mp) {
+    int py = idy % 2;
+    int px = idx % 2;
+    float center = a[idy + 1][idx + 1];
+    float horiz = (a[idy + 1][idx] + a[idy + 1][idx + 2]) / 2.0f;
+    float vert = (a[idy][idx + 1] + a[idy + 2][idx + 1]) / 2.0f;
+    float cross = (horiz + vert) / 2.0f;
+    float diag = (a[idy][idx] + a[idy][idx + 2] + a[idy + 2][idx] + a[idy + 2][idx + 2]) / 4.0f;
+    if (py == 0) {
+        if (px == 0) {
+            r[idy][idx] = center;
+            g[idy][idx] = cross;
+            bl[idy][idx] = diag;
+        } else {
+            r[idy][idx] = horiz;
+            g[idy][idx] = center;
+            bl[idy][idx] = vert;
+        }
+    } else {
+        if (px == 0) {
+            r[idy][idx] = vert;
+            g[idy][idx] = center;
+            bl[idy][idx] = horiz;
+        } else {
+            r[idy][idx] = diag;
+            g[idy][idx] = cross;
+            bl[idy][idx] = center;
+        }
+    }
+}
+"""
+
+# 10. regional maxima: 1 where the center strictly exceeds all 8
+#     neighbors (padded input, offsets 0..2, center at +1).
+IMREGIONMAX = """
+__global__ void imregionmax(float a[np_][mp], float c[n][m], int n, int m, int np_, int mp) {
+    float cv = a[idy + 1][idx + 1];
+    float m0 = fmaxf(a[idy][idx], a[idy][idx + 1]);
+    float m1 = fmaxf(a[idy][idx + 2], a[idy + 1][idx]);
+    float m2 = fmaxf(a[idy + 1][idx + 2], a[idy + 2][idx]);
+    float m3 = fmaxf(a[idy + 2][idx + 1], a[idy + 2][idx + 2]);
+    float m4 = fmaxf(m0, m1);
+    float m5 = fmaxf(m2, m3);
+    float mx = fmaxf(m4, m5);
+    c[idy][idx] = cv > mx ? 1.0f : 0.0f;
+}
+"""
+
+SOURCES = {
+    "tmv": TMV,
+    "mm": MM,
+    "mv": MV,
+    "vv": VV,
+    "rd": RD,
+    "rdc": RD_COMPLEX,
+    "strsm": STRSM,
+    "conv": CONV,
+    "tp": TP,
+    "demosaic": DEMOSAIC,
+    "imregionmax": IMREGIONMAX,
+}
+
+
+def body_loc(source: str) -> int:
+    """Non-blank source lines between the kernel's braces (Table 1 LOC)."""
+    lines = [l.strip() for l in source.strip().splitlines()]
+    inside = False
+    count = 0
+    for line in lines:
+        if line.startswith("__global__"):
+            inside = True
+            continue
+        if inside and line == "}":
+            break
+        if inside and line and line != "{":
+            count += 1
+    return count

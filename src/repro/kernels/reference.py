@@ -1,0 +1,86 @@
+"""Numpy reference implementations for the Table 1 algorithms."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def tmv(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    return {"c": arrays["a"].T.astype(np.float64) @ arrays["b"]}
+
+
+def mm(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    return {"c": arrays["a"].astype(np.float64) @ arrays["b"]}
+
+
+def mv(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    return {"c": arrays["a"].astype(np.float64) @ arrays["b"]}
+
+
+def vv(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    return {"c": arrays["a"] * arrays["b"]}
+
+
+def rd(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    return {"sum": np.asarray(arrays["a"].astype(np.float64).sum())}
+
+
+def rdc(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    # Sum of |re| + |im| over interleaved complex data (CublasScasum).
+    return {"sum": np.asarray(np.abs(arrays["a"].astype(np.float64)).sum())}
+
+
+def strsm(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    from scipy.linalg import solve_triangular
+    a = arrays["a"].astype(np.float64)
+    b = arrays["b"].astype(np.float64)
+    return {"x": solve_triangular(a, b, lower=True)}
+
+
+def conv(arrays: Dict[str, np.ndarray], n: int, m: int, kh: int,
+         kw: int) -> Dict[str, np.ndarray]:
+    a = arrays["a"].astype(np.float64)
+    f = arrays["f"].astype(np.float64)
+    out = np.zeros((n, m))
+    for ki in range(kh):
+        for kj in range(kw):
+            out += a[ki:ki + n, kj:kj + m] * f[ki, kj]
+    return {"c": out}
+
+
+def tp(arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    return {"c": arrays["a"].T.copy()}
+
+
+def demosaic(arrays: Dict[str, np.ndarray], n: int,
+             m: int) -> Dict[str, np.ndarray]:
+    a = arrays["a"].astype(np.float64)
+    center = a[1:1 + n, 1:1 + m]
+    horiz = (a[1:1 + n, 0:m] + a[1:1 + n, 2:2 + m]) / 2.0
+    vert = (a[0:n, 1:1 + m] + a[2:2 + n, 1:1 + m]) / 2.0
+    cross = (horiz + vert) / 2.0
+    diag = (a[0:n, 0:m] + a[0:n, 2:2 + m]
+            + a[2:2 + n, 0:m] + a[2:2 + n, 2:2 + m]) / 4.0
+    ys, xs = np.mgrid[0:n, 0:m]
+    even_y, even_x = (ys % 2 == 0), (xs % 2 == 0)
+    r = np.where(even_y & even_x, center,
+                 np.where(even_y, horiz, np.where(even_x, vert, diag)))
+    g = np.where(even_y == even_x, cross, center)
+    b = np.where(even_y & even_x, diag,
+                 np.where(even_y, vert, np.where(even_x, horiz, center)))
+    return {"r": r, "g": g, "bl": b}
+
+
+def imregionmax(arrays: Dict[str, np.ndarray], n: int,
+                m: int) -> Dict[str, np.ndarray]:
+    a = arrays["a"].astype(np.float64)
+    center = a[1:1 + n, 1:1 + m]
+    neighbors = np.full((n, m), -np.inf)
+    for dy in range(3):
+        for dx in range(3):
+            if dy == 1 and dx == 1:
+                continue
+            neighbors = np.maximum(neighbors, a[dy:dy + n, dx:dx + m])
+    return {"c": (center > neighbors).astype(np.float64)}

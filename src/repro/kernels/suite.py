@@ -1,0 +1,257 @@
+"""The Table 1 algorithm registry: sources, sizes, workloads, references.
+
+Each :class:`Algorithm` bundles everything the tests and benchmarks need:
+the naive kernel source, size bindings for a given problem scale, the
+output domain, workload generation, the numpy reference, and the flop /
+byte counts used to report GFLOPS and effective bandwidth like the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels import naive, reference
+
+# Padding added to the fast dimension of stencil inputs so staged apron
+# chunks can overrun the right edge (see DESIGN.md).
+STENCIL_PAD = 544
+
+
+@dataclass
+class Algorithm:
+    """One evaluation algorithm from the paper's Table 1."""
+
+    name: str
+    full_name: str
+    source: str
+    paper_loc: int
+    paper_input: str                        # Table 1's input-size column
+    sizes: Callable[[int], Dict[str, int]]  # scale -> size bindings
+    domain: Callable[[Dict[str, int]], Tuple[int, int]]
+    make_arrays: Callable[[np.random.Generator, Dict[str, int]],
+                          Dict[str, np.ndarray]]
+    reference: Callable[[Dict[str, np.ndarray], Dict[str, int]],
+                        Dict[str, np.ndarray]]
+    flops: Callable[[Dict[str, int]], float]
+    bytes_moved: Callable[[Dict[str, int]], float]
+    uses_global_sync: bool = False
+    default_scale: int = 2048
+    test_scale: int = 32
+    paper_scales: Tuple[int, ...] = (1024, 2048, 4096)
+    in_cublas: bool = False
+    rtol: float = 2e-3
+
+    @property
+    def loc(self) -> int:
+        return naive.body_loc(self.source)
+
+
+def _square(names: Tuple[str, ...]) -> Callable[[int], Dict[str, int]]:
+    def fn(scale: int) -> Dict[str, int]:
+        return {name: scale for name in names}
+    return fn
+
+
+def _mk(name, full_name, source, paper_loc, paper_input, sizes, domain,
+        make_arrays, ref, flops, bytes_moved, **kw) -> Algorithm:
+    return Algorithm(name=name, full_name=full_name, source=source,
+                     paper_loc=paper_loc, paper_input=paper_input,
+                     sizes=sizes, domain=domain, make_arrays=make_arrays,
+                     reference=ref, flops=flops, bytes_moved=bytes_moved,
+                     **kw)
+
+
+# -- workload generators -------------------------------------------------
+
+def _arrays_tmv(rng, s):
+    return {"a": rng.random((s["w"], s["n"]), dtype=np.float32),
+            "b": rng.random(s["w"], dtype=np.float32),
+            "c": np.zeros(s["n"], dtype=np.float32)}
+
+
+def _arrays_mm(rng, s):
+    return {"a": rng.random((s["n"], s["w"]), dtype=np.float32),
+            "b": rng.random((s["w"], s["m"]), dtype=np.float32),
+            "c": np.zeros((s["n"], s["m"]), dtype=np.float32)}
+
+
+def _arrays_mv(rng, s):
+    return {"a": rng.random((s["n"], s["w"]), dtype=np.float32),
+            "b": rng.random(s["w"], dtype=np.float32),
+            "c": np.zeros(s["n"], dtype=np.float32)}
+
+
+def _arrays_vv(rng, s):
+    return {"a": rng.random(s["n"], dtype=np.float32),
+            "b": rng.random(s["n"], dtype=np.float32),
+            "c": np.zeros(s["n"], dtype=np.float32)}
+
+
+def _arrays_rd(rng, s):
+    return {"a": rng.random(s["n"], dtype=np.float32)}
+
+
+def _arrays_strsm(rng, s):
+    n, m = s["n"], s["m"]
+    a = rng.random((n, n), dtype=np.float32) * 0.1
+    a = np.tril(a).astype(np.float32)
+    np.fill_diagonal(a, 1.0 + rng.random(n, dtype=np.float32))
+    return {"a": a,
+            "b": rng.random((n, m), dtype=np.float32),
+            "x": np.zeros((n, m), dtype=np.float32)}
+
+
+def _arrays_conv(rng, s):
+    return {"a": rng.random((s["np_"], s["mp"]), dtype=np.float32),
+            "f": rng.random((s["kh"], s["kw"]), dtype=np.float32),
+            "c": np.zeros((s["n"], s["m"]), dtype=np.float32)}
+
+
+def _arrays_tp(rng, s):
+    return {"a": rng.random((s["m"], s["n"]), dtype=np.float32),
+            "c": np.zeros((s["n"], s["m"]), dtype=np.float32)}
+
+
+def _arrays_demosaic(rng, s):
+    return {"a": rng.random((s["np_"], s["mp"]), dtype=np.float32),
+            "r": np.zeros((s["n"], s["m"]), dtype=np.float32),
+            "g": np.zeros((s["n"], s["m"]), dtype=np.float32),
+            "bl": np.zeros((s["n"], s["m"]), dtype=np.float32)}
+
+
+def _arrays_imregionmax(rng, s):
+    return {"a": rng.random((s["np_"], s["mp"]), dtype=np.float32),
+            "c": np.zeros((s["n"], s["m"]), dtype=np.float32)}
+
+
+# -- size bindings --------------------------------------------------------
+
+def _sizes_conv(scale: int) -> Dict[str, int]:
+    kh = kw = 32 if scale >= 1024 else max(4, scale // 8)
+    return {"n": scale, "m": scale, "kh": kh, "kw": kw,
+            "np_": scale + kh, "mp": scale + kw + STENCIL_PAD}
+
+
+def _sizes_stencil(scale: int) -> Dict[str, int]:
+    return {"n": scale, "m": scale,
+            "np_": scale + 2, "mp": scale + 2 + STENCIL_PAD}
+
+
+ALGORITHMS: Dict[str, Algorithm] = {}
+
+
+def _register(algo: Algorithm) -> None:
+    ALGORITHMS[algo.name] = algo
+
+
+_register(_mk(
+    "tmv", "transpose matrix vector multiplication", naive.TMV, 11,
+    "1kx1k to 4kx4k (1k to 4k vec.)",
+    _square(("n", "w")), lambda s: (s["n"], 1),
+    _arrays_tmv, lambda a, s: reference.tmv(a),
+    lambda s: 2.0 * s["n"] * s["w"],
+    lambda s: 4.0 * (s["n"] * s["w"] + s["w"] + s["n"]),
+    in_cublas=True))
+
+_register(_mk(
+    "mm", "matrix multiplication", naive.MM, 10, "1kx1k to 4kx4k",
+    _square(("n", "m", "w")), lambda s: (s["m"], s["n"]),
+    _arrays_mm, lambda a, s: reference.mm(a),
+    lambda s: 2.0 * s["n"] * s["m"] * s["w"],
+    lambda s: 4.0 * (s["n"] * s["w"] + s["w"] * s["m"] + s["n"] * s["m"]),
+    in_cublas=True))
+
+_register(_mk(
+    "mv", "matrix-vector multiplication", naive.MV, 11, "1kx1k to 4kx4k",
+    _square(("n", "w")), lambda s: (s["n"], 1),
+    _arrays_mv, lambda a, s: reference.mv(a),
+    lambda s: 2.0 * s["n"] * s["w"],
+    lambda s: 4.0 * (s["n"] * s["w"] + s["w"] + s["n"]),
+    in_cublas=True))
+
+_register(_mk(
+    "vv", "vector-vector multiplication", naive.VV, 3, "1k to 4k",
+    _square(("n",)), lambda s: (s["n"], 1),
+    _arrays_vv, lambda a, s: reference.vv(a),
+    lambda s: 1.0 * s["n"],
+    lambda s: 4.0 * 3 * s["n"],
+    default_scale=4096, test_scale=128,
+    paper_scales=(1024, 2048, 4096), in_cublas=True))
+
+_register(_mk(
+    "rd", "reduction", naive.RD, 9, "1-16 million",
+    _square(("n",)), lambda s: (s["n"], 1),
+    _arrays_rd, lambda a, s: reference.rd(a),
+    lambda s: 1.0 * s["n"],
+    lambda s: 4.0 * s["n"],
+    uses_global_sync=True, default_scale=1 << 22, test_scale=1 << 12,
+    paper_scales=(1 << 20, 1 << 22, 1 << 24), in_cublas=True))
+
+_register(_mk(
+    "strsm", "matrix equation solver", naive.STRSM, 18, "1kx1k to 4kx4k",
+    _square(("n", "m")), lambda s: (s["m"], 1),
+    _arrays_strsm, lambda a, s: reference.strsm(a),
+    lambda s: 1.0 * s["n"] * s["n"] * s["m"],
+    lambda s: 4.0 * (s["n"] * s["n"] / 2 + 2 * s["n"] * s["m"]),
+    in_cublas=True, test_scale=48, rtol=5e-3))
+
+_register(_mk(
+    "conv", "convolution", naive.CONV, 12, "4kx4k image, 32x32 kernel",
+    _sizes_conv, lambda s: (s["m"], s["n"]),
+    _arrays_conv,
+    lambda a, s: reference.conv(a, s["n"], s["m"], s["kh"], s["kw"]),
+    lambda s: 2.0 * s["n"] * s["m"] * s["kh"] * s["kw"],
+    lambda s: 4.0 * (s["np_"] * s["mp"] + s["n"] * s["m"]),
+    default_scale=4096, test_scale=32,
+    paper_scales=(1024, 2048, 4096)))
+
+_register(_mk(
+    "tp", "matrix transpose", naive.TP, 11, "1kx1k to 8kx8k",
+    _square(("n", "m")), lambda s: (s["m"], s["n"]),
+    _arrays_tp, lambda a, s: reference.tp(a),
+    lambda s: 0.0,
+    lambda s: 4.0 * 2 * s["n"] * s["m"],
+    paper_scales=(1024, 2048, 3072, 4096, 8192)))
+
+_register(_mk(
+    "demosaic", "image reconstruction (demosaicing)", naive.DEMOSAIC, 27,
+    "1kx1k to 4kx4k",
+    _sizes_stencil, lambda s: (s["m"], s["n"]),
+    _arrays_demosaic,
+    lambda a, s: reference.demosaic(a, s["n"], s["m"]),
+    lambda s: 8.0 * s["n"] * s["m"],
+    lambda s: 4.0 * (s["np_"] * s["mp"] + 3 * s["n"] * s["m"])))
+
+_register(_mk(
+    "imregionmax", "find the regional maxima", naive.IMREGIONMAX, 26,
+    "1kx1k to 4kx4k",
+    _sizes_stencil, lambda s: (s["m"], s["n"]),
+    _arrays_imregionmax,
+    lambda a, s: reference.imregionmax(a, s["n"], s["m"]),
+    lambda s: 9.0 * s["n"] * s["m"],
+    lambda s: 4.0 * (s["np_"] * s["mp"] + s["n"] * s["m"])))
+
+
+def get_algorithm(name: str) -> Algorithm:
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {name!r}; available: "
+                       f"{sorted(ALGORITHMS)}") from None
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """The Table 1 summary: algorithm, input sizes, naive-kernel LOC."""
+    rows = []
+    for name, algo in ALGORITHMS.items():
+        rows.append({
+            "algorithm": algo.full_name,
+            "short": name,
+            "input": algo.paper_input,
+            "loc": algo.loc,
+            "paper_loc": algo.paper_loc,
+        })
+    return rows

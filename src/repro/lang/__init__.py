@@ -1,0 +1,70 @@
+"""Kernel-language frontend: lexer, parser, AST, types, printer.
+
+The naive kernel language is the C-like subset used by the paper's examples
+(Figure 2): scalar and array declarations, ``for``/``if`` statements, compound
+assignments, and the predefined thread identifiers ``idx``, ``idy``, ``tidx``,
+``tidy``, ``bidx``, ``bidy``.  The optimized output additionally uses
+``__shared__`` declarations, ``__syncthreads()``, and vector types
+(``float2``/``float4``), matching the code the paper's compiler emits.
+"""
+
+from repro.lang.astnodes import (
+    ArrayRef,
+    AssignStmt,
+    Binary,
+    Block,
+    Call,
+    DeclStmt,
+    ExprStmt,
+    FloatLit,
+    ForStmt,
+    Ident,
+    IfStmt,
+    IntLit,
+    Kernel,
+    Member,
+    Param,
+    Pragma,
+    SyncStmt,
+    Ternary,
+    Unary,
+    WhileStmt,
+)
+from repro.lang.lexer import Lexer, LexError
+from repro.lang.parser import ParseError, Parser, parse_kernel
+from repro.lang.printer import print_expr, print_kernel, print_stmt
+from repro.lang.types import ArrayType, ScalarType, Type
+
+__all__ = [
+    "ArrayRef",
+    "ArrayType",
+    "AssignStmt",
+    "Binary",
+    "Block",
+    "Call",
+    "DeclStmt",
+    "ExprStmt",
+    "FloatLit",
+    "ForStmt",
+    "Ident",
+    "IfStmt",
+    "IntLit",
+    "Kernel",
+    "LexError",
+    "Lexer",
+    "Member",
+    "Param",
+    "ParseError",
+    "Parser",
+    "Pragma",
+    "ScalarType",
+    "SyncStmt",
+    "Ternary",
+    "Type",
+    "Unary",
+    "WhileStmt",
+    "parse_kernel",
+    "print_expr",
+    "print_kernel",
+    "print_stmt",
+]

@@ -1,0 +1,56 @@
+"""Predefined identifiers and builtin functions of the kernel language."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+# Predefined thread/block identifiers (paper Section 2).  In the naive input
+# they are implicit; the lowering pass makes the derived ones explicit.
+PREDEFINED_IDS = (
+    "idx", "idy",          # absolute thread ids along X / Y
+    "tidx", "tidy",        # threadIdx.x / threadIdx.y
+    "bidx", "bidy",        # blockIdx.x / blockIdx.y
+    "bdimx", "bdimy",      # blockDim.x / blockDim.y
+    "gdimx", "gdimy",      # gridDim.x / gridDim.y
+)
+
+# Ids that are *fundamental* (provided by hardware); idx/idy are derived.
+HARDWARE_IDS = ("tidx", "tidy", "bidx", "bidy", "bdimx", "bdimy",
+                "gdimx", "gdimy")
+
+DERIVED_IDS = ("idx", "idy")
+
+
+def is_predefined(name: str) -> bool:
+    return name in PREDEFINED_IDS
+
+
+def _clamp_int(x) -> int:
+    return int(x)
+
+
+BUILTIN_FUNCTIONS: Dict[str, object] = {
+    "min": min,
+    "max": max,
+    "fminf": min,
+    "fmaxf": max,
+    "fabsf": abs,
+    "abs": abs,
+    "sqrtf": math.sqrt,
+    "rsqrtf": lambda x: 1.0 / math.sqrt(x),
+    "sinf": math.sin,
+    "cosf": math.cos,
+    "expf": math.exp,
+    "logf": math.log,
+    "floorf": math.floor,
+    "int": _clamp_int,
+    "float": float,
+}
+
+# Vector constructors are handled specially by the interpreter.
+VECTOR_CONSTRUCTORS = ("make_float2", "make_float4")
+
+
+def is_builtin_function(name: str) -> bool:
+    return name in BUILTIN_FUNCTIONS or name in VECTOR_CONSTRUCTORS

@@ -1,0 +1,155 @@
+"""Hand-written lexer for the kernel language."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.tokens import KEYWORDS, OPERATORS, Token, TokenKind
+
+
+class LexError(Exception):
+    """Raised on an unrecognized character or malformed literal."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Converts kernel source text into a list of :class:`Token`.
+
+    Comments (``//`` and ``/* */``) are skipped.  ``#pragma`` lines are
+    emitted as single :data:`TokenKind.PRAGMA` tokens carrying the full line
+    so the parser can attach them to the kernel.
+    """
+
+    def __init__(self, source: str):
+        self._src = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            tok = self._next_token()
+            tokens.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return tokens
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        idx = self._pos + ahead
+        return self._src[idx] if idx < len(self._src) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._src):
+                return
+            if self._src[self._pos] == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+            self._pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self._line, self._col
+                self._advance(2)
+                while self._pos < len(self._src):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start_line, start_col)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, col = self._line, self._col
+        if self._pos >= len(self._src):
+            return Token(TokenKind.EOF, "", line, col)
+
+        ch = self._peek()
+
+        if ch == "#":
+            return self._lex_pragma(line, col)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, col)
+        if _is_ident_start(ch):
+            return self._lex_ident(line, col)
+
+        for text, kind in OPERATORS:
+            if self._src.startswith(text, self._pos):
+                self._advance(len(text))
+                return Token(kind, text, line, col)
+
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    def _lex_pragma(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._src) and self._peek() != "\n":
+            self._advance()
+        text = self._src[start:self._pos].strip()
+        if not text.startswith("#pragma"):
+            raise LexError("only #pragma directives are supported", line, col)
+        return Token(TokenKind.PRAGMA, text, line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self._pos
+        saw_dot = False
+        saw_exp = False
+        while self._pos < len(self._src):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not saw_dot and not saw_exp:
+                saw_dot = True
+                self._advance()
+            elif ch in "eE" and not saw_exp and self._pos > start:
+                saw_exp = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+            else:
+                break
+        text = self._src[start:self._pos]
+        if self._peek() and self._peek() in "fF":
+            self._advance()
+            return Token(TokenKind.FLOAT_LIT, text, line, col)
+        if saw_dot or saw_exp:
+            return Token(TokenKind.FLOAT_LIT, text, line, col)
+        return Token(TokenKind.INT_LIT, text, line, col)
+
+    def _lex_ident(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._src) and _is_ident_char(self._peek()):
+            self._advance()
+        text = self._src[start:self._pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, line, col)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper returning the token list for ``source``."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,160 @@
+"""Pretty-printer: AST back to CUDA-like source text.
+
+The paper stresses that its output is *understandable* (unlike
+polyhedral-generated code); the printer produces exactly the style of the
+paper's Figures 3, 5, 7, and 8.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.astnodes import (
+    ArrayRef,
+    AssignStmt,
+    Binary,
+    Block,
+    Call,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    ForStmt,
+    Ident,
+    IfStmt,
+    IntLit,
+    Kernel,
+    Member,
+    ReturnStmt,
+    Stmt,
+    SyncStmt,
+    Ternary,
+    Unary,
+    WhileStmt,
+)
+
+# Binding strength for parenthesization (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PREC = 11
+_POSTFIX_PREC = 12
+
+
+def print_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render ``expr``, adding parentheses only where required."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, FloatLit):
+        text = repr(expr.value)
+        return f"{text}f" if "." in text or "e" in text else f"{text}.0f"
+    if isinstance(expr, Ident):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        idx = "".join(f"[{print_expr(i)}]" for i in expr.indices)
+        return f"{expr.base.name}{idx}"
+    if isinstance(expr, Member):
+        return f"{print_expr(expr.base, _POSTFIX_PREC)}.{expr.member}"
+    if isinstance(expr, Call):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, Unary):
+        inner = print_expr(expr.operand, _UNARY_PREC)
+        if inner.startswith(expr.op):
+            inner = f"({inner})"  # avoid lexing '--x' as a decrement
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_prec > _UNARY_PREC else text
+    if isinstance(expr, Binary):
+        prec = _PRECEDENCE[expr.op]
+        left = print_expr(expr.left, prec)
+        # Right operand of -, /, % needs parens at equal precedence.
+        right_prec = prec + 1 if expr.op in ("-", "/", "%", "<<", ">>") else prec
+        right = print_expr(expr.right, right_prec)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_prec > prec else text
+    if isinstance(expr, Ternary):
+        text = (f"{print_expr(expr.cond, 1)} ? {print_expr(expr.then)}"
+                f" : {print_expr(expr.otherwise)}")
+        return f"({text})" if parent_prec > 0 else text
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def _decl_text(stmt: DeclStmt) -> str:
+    shared = "__shared__ " if stmt.shared else ""
+    dims = "".join(f"[{d}]" for d in stmt.dims)
+    text = f"{shared}{stmt.type} {stmt.name}{dims}"
+    if stmt.init is not None:
+        text += f" = {print_expr(stmt.init)}"
+    return text
+
+
+def print_stmt(stmt: Stmt, indent: int = 0) -> str:
+    """Render one statement (with trailing newline) at ``indent`` levels."""
+    pad = "    " * indent
+    if isinstance(stmt, DeclStmt):
+        return f"{pad}{_decl_text(stmt)};\n"
+    if isinstance(stmt, AssignStmt):
+        return f"{pad}{print_expr(stmt.target)} {stmt.op} {print_expr(stmt.value)};\n"
+    if isinstance(stmt, ExprStmt):
+        return f"{pad}{print_expr(stmt.expr)};\n"
+    if isinstance(stmt, SyncStmt):
+        call = "__syncthreads" if stmt.scope == "block" else "__global_sync"
+        return f"{pad}{call}();\n"
+    if isinstance(stmt, ReturnStmt):
+        return f"{pad}return;\n"
+    if isinstance(stmt, Block):
+        out = f"{pad}{{\n"
+        out += "".join(print_stmt(s, indent + 1) for s in stmt.body)
+        return out + f"{pad}}}\n"
+    if isinstance(stmt, IfStmt):
+        out = f"{pad}if ({print_expr(stmt.cond)}) {{\n"
+        out += "".join(print_stmt(s, indent + 1) for s in stmt.then_body)
+        out += f"{pad}}}"
+        if stmt.else_body:
+            out += " else {\n"
+            out += "".join(print_stmt(s, indent + 1) for s in stmt.else_body)
+            out += f"{pad}}}"
+        return out + "\n"
+    if isinstance(stmt, ForStmt):
+        init = _inline_stmt(stmt.init)
+        cond = print_expr(stmt.cond) if stmt.cond is not None else ""
+        update = _inline_stmt(stmt.update)
+        out = f"{pad}for ({init}; {cond}; {update}) {{\n"
+        out += "".join(print_stmt(s, indent + 1) for s in stmt.body)
+        return out + f"{pad}}}\n"
+    if isinstance(stmt, WhileStmt):
+        out = f"{pad}while ({print_expr(stmt.cond)}) {{\n"
+        out += "".join(print_stmt(s, indent + 1) for s in stmt.body)
+        return out + f"{pad}}}\n"
+    raise TypeError(f"cannot print statement {stmt!r}")
+
+
+def _inline_stmt(stmt) -> str:
+    """Render a for-header clause without padding or semicolon."""
+    if stmt is None:
+        return ""
+    if isinstance(stmt, DeclStmt):
+        return _decl_text(stmt)
+    if isinstance(stmt, AssignStmt):
+        return f"{print_expr(stmt.target)} {stmt.op} {print_expr(stmt.value)}"
+    if isinstance(stmt, ExprStmt):
+        return print_expr(stmt.expr)
+    raise TypeError(f"cannot inline statement {stmt!r}")
+
+
+def print_kernel(kernel: Kernel) -> str:
+    """Render a full kernel function as CUDA-like source."""
+    lines: List[str] = [p.text + "\n" for p in kernel.pragmas]
+    params = []
+    for p in kernel.params:
+        dims = "".join(f"[{d}]" for d in p.dims)
+        params.append(f"{p.type} {p.name}{dims}")
+    lines.append(f"__global__ void {kernel.name}({', '.join(params)}) {{\n")
+    lines.extend(print_stmt(s, 1) for s in kernel.body)
+    lines.append("}\n")
+    return "".join(lines)

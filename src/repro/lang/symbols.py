@@ -1,0 +1,52 @@
+"""Lexically scoped symbol table used by semantic analysis and the passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.lang.types import ArrayType, ScalarType, Type
+
+
+@dataclass
+class Symbol:
+    """One declared name: a parameter, local, shared array, or iterator."""
+
+    name: str
+    type: Type
+    kind: str  # 'param' | 'local' | 'shared' | 'iterator' | 'predefined'
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self.type, ArrayType)
+
+
+class SymbolTable:
+    """A stack of scopes mapping names to :class:`Symbol`."""
+
+    def __init__(self):
+        self._scopes: List[Dict[str, Symbol]] = [{}]
+
+    def push(self) -> None:
+        self._scopes.append({})
+
+    def pop(self) -> None:
+        if len(self._scopes) == 1:
+            raise RuntimeError("cannot pop the global scope")
+        self._scopes.pop()
+
+    def declare(self, symbol: Symbol) -> Symbol:
+        scope = self._scopes[-1]
+        if symbol.name in scope:
+            raise KeyError(f"redeclaration of {symbol.name!r}")
+        scope[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None

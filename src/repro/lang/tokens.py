@@ -1,0 +1,144 @@
+"""Token kinds and the token record produced by the lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    """All token kinds in the kernel language."""
+
+    # Literals and identifiers.
+    INT_LIT = auto()
+    FLOAT_LIT = auto()
+    IDENT = auto()
+
+    # Keywords.
+    KW_GLOBAL = auto()      # __global__
+    KW_SHARED = auto()      # __shared__
+    KW_VOID = auto()
+    KW_INT = auto()
+    KW_FLOAT = auto()
+    KW_FLOAT2 = auto()
+    KW_FLOAT4 = auto()
+    KW_FOR = auto()
+    KW_WHILE = auto()
+    KW_IF = auto()
+    KW_ELSE = auto()
+    KW_RETURN = auto()
+
+    # Punctuation.
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COMMA = auto()
+    SEMI = auto()
+    DOT = auto()
+    QUESTION = auto()
+    COLON = auto()
+
+    # Operators.
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    ASSIGN = auto()
+    PLUS_ASSIGN = auto()
+    MINUS_ASSIGN = auto()
+    STAR_ASSIGN = auto()
+    SLASH_ASSIGN = auto()
+    PLUS_PLUS = auto()
+    MINUS_MINUS = auto()
+    EQ = auto()
+    NE = auto()
+    LT = auto()
+    GT = auto()
+    LE = auto()
+    GE = auto()
+    AND_AND = auto()
+    OR_OR = auto()
+    NOT = auto()
+    AMP = auto()
+    PIPE = auto()
+    CARET = auto()
+    SHL = auto()
+    SHR = auto()
+
+    # Structure.
+    PRAGMA = auto()         # a whole '#pragma ...' line
+    EOF = auto()
+
+
+KEYWORDS = {
+    "__global__": TokenKind.KW_GLOBAL,
+    "__shared__": TokenKind.KW_SHARED,
+    "void": TokenKind.KW_VOID,
+    "int": TokenKind.KW_INT,
+    "float": TokenKind.KW_FLOAT,
+    "float2": TokenKind.KW_FLOAT2,
+    "float4": TokenKind.KW_FLOAT4,
+    "for": TokenKind.KW_FOR,
+    "while": TokenKind.KW_WHILE,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "return": TokenKind.KW_RETURN,
+}
+
+# Multi-character operators, longest first so the lexer can match greedily.
+OPERATORS = [
+    ("<<", TokenKind.SHL),
+    (">>", TokenKind.SHR),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("&&", TokenKind.AND_AND),
+    ("||", TokenKind.OR_OR),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("++", TokenKind.PLUS_PLUS),
+    ("--", TokenKind.MINUS_MINUS),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("=", TokenKind.ASSIGN),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+    ("!", TokenKind.NOT),
+    ("&", TokenKind.AMP),
+    ("|", TokenKind.PIPE),
+    ("^", TokenKind.CARET),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (",", TokenKind.COMMA),
+    (";", TokenKind.SEMI),
+    (".", TokenKind.DOT),
+    ("?", TokenKind.QUESTION),
+    (":", TokenKind.COLON),
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexed token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"

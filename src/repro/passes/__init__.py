@@ -1,0 +1,17 @@
+"""The paper's optimization pipeline as composable AST-to-AST passes.
+
+Order (Figure 1 of the paper):
+
+1. :mod:`repro.passes.vectorize` — float2 grouping of paired accesses (3.1)
+2. :mod:`repro.passes.coalesce_check` — coalescing analysis (3.2)
+3. :mod:`repro.passes.coalesce_transform` — shared-memory staging (3.3)
+4. :mod:`repro.passes.sharing` — inter-block data sharing, G2S/G2R (3.4)
+5. :mod:`repro.passes.merge` — thread-block merge and thread merge (3.5)
+6. :mod:`repro.passes.prefetch` — double-buffered G2S loads (3.6)
+7. :mod:`repro.passes.partition` — partition-camping elimination (3.7)
+8. :mod:`repro.passes.launch` — grid/block launch parameters
+"""
+
+from repro.passes.base import CompilationContext, Pass, PassError
+
+__all__ = ["CompilationContext", "Pass", "PassError"]

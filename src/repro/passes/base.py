@@ -1,0 +1,119 @@
+"""Pass infrastructure: the shared compilation context and pass protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.astnodes import ArrayRef, AssignStmt, ForStmt, Kernel, Stmt
+from repro.machine import GTX280, GpuSpec
+
+
+class PassError(Exception):
+    """A pass could not apply (unsupported kernel shape, bad config)."""
+
+
+@dataclass
+class StagedLoad:
+    """Bookkeeping for one shared-memory staging introduced by the
+    coalescing transform (a *G2S* load in the paper's terminology)."""
+
+    shared_name: str                  # the __shared__ array
+    source_array: str                 # the global array it stages
+    case: str                         # 'R' | 'C' | 'T' | 'S' (DESIGN.md 5)
+    load_stmts: List[Stmt]            # the G2S assignment statement(s)
+    shared_elems: int                 # size for the occupancy calculator
+    idx_dependent: bool               # does the load address involve idx?
+    idy_dependent: bool               # ... or idy?
+
+
+@dataclass
+class CompilationContext:
+    """Everything the pipeline threads through its passes.
+
+    ``kernel`` is rewritten in place (each pass replaces ``kernel.body``);
+    the rest records the decisions the later passes and the performance
+    model need.  ``log`` is the human-readable decision trace the case-study
+    example prints (paper Section 5).
+    """
+
+    kernel: Kernel
+    sizes: Dict[str, int]
+    domain: Tuple[int, int]              # fine-grain work items along (X, Y)
+    machine: GpuSpec = GTX280
+
+    # Thread-block dimensions built up by the passes.  The naive kernel is
+    # one work item per thread with no block structure; coalescing sets
+    # X=16 (one half warp per block, Section 3.3).
+    block: Tuple[int, int] = (1, 1)
+
+    # Aggregation factors applied by the merge pass.
+    block_merge: Tuple[int, int] = (1, 1)    # blocks merged along (X, Y)
+    thread_merge: Tuple[int, int] = (1, 1)   # work items per thread (X, Y)
+
+    staged_loads: List[StagedLoad] = field(default_factory=list)
+    main_loop: Optional[ForStmt] = None      # the strip-mined loop, if any
+    prefetch_applied: bool = False
+    partition_fix: Optional[str] = None      # 'offset' | 'diagonal' | None
+    vectorized: bool = False
+    # Symbolic array extents halved by vectorization: callers must bind
+    # these size parameters to half the scalar-element count.
+    halved_extents: set = field(default_factory=set)
+
+    # Estimated per-thread register usage (updated by merge/prefetch).
+    est_registers: int = 8
+
+    log: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.log.append(message)
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def work_per_block(self) -> Tuple[int, int]:
+        """Output elements covered by one thread block along (X, Y)."""
+        return (self.block[0] * self.thread_merge[0],
+                self.block[1] * self.thread_merge[1])
+
+    @property
+    def grid(self) -> Tuple[int, int]:
+        wx, wy = self.work_per_block
+        gx = max(1, -(-self.domain[0] // wx))
+        gy = max(1, -(-self.domain[1] // wy))
+        return gx, gy
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block[0] * self.block[1]
+
+    def shared_mem_bytes(self) -> int:
+        """Shared memory the current kernel body declares, in bytes."""
+        from repro.lang.astnodes import DeclStmt, walk_stmts
+        total = 0
+        for stmt in walk_stmts(self.kernel.body):
+            if isinstance(stmt, DeclStmt) and stmt.shared:
+                elems = 1
+                for d in stmt.dims:
+                    elems *= d if isinstance(d, int) else self.sizes.get(d, 1)
+                total += elems * stmt.type.size_bytes
+        return total
+
+
+class Pass:
+    """A named transformation over a :class:`CompilationContext`."""
+
+    name = "pass"
+
+    def run(self, ctx: CompilationContext) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, ctx: CompilationContext) -> None:
+        self.run(ctx)
+
+
+def is_g2s_stmt(stmt: Stmt, shared_names) -> bool:
+    """Is ``stmt`` a global-to-shared-memory load (G2S, Section 3.3)?"""
+    return (isinstance(stmt, AssignStmt)
+            and isinstance(stmt.target, ArrayRef)
+            and stmt.target.base.name in shared_names)

@@ -1,0 +1,163 @@
+"""Memory-coalescing check (paper Section 3.2).
+
+For each global access the compiler computes the addresses issued by the 16
+threads of a half warp — and, when a loop iterator appears in the index, for
+the first 16 iterator values — and tests the G80 rules:
+
+* the 16 threads must touch 16 consecutive words (*offsets* 0..15), and
+* the *base address* must be a multiple of 16 words (64 bytes),
+
+for every sampled iterator value.  With affine addresses both conditions
+reduce to coefficient arithmetic (see :class:`Verdict`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ir.access import AccessInfo
+from repro.ir.affine import AffineExpr
+from repro.ir.segments import SEGMENT_ELEMS
+from repro.passes.base import CompilationContext, Pass
+
+# Thread ids other than the X-direction ones; their coefficients must keep
+# the base segment-aligned because they are constant within a half warp but
+# arbitrary across half warps.
+_ROW_TERMS = ("idy", "tidy", "bidy")
+
+
+@dataclass
+class Verdict:
+    """Coalescing verdict for one access."""
+
+    access: AccessInfo
+    coalesced: bool
+    reason: str
+
+    def __repr__(self) -> str:
+        state = "coalesced" if self.coalesced else "NOT coalesced"
+        return f"<{self.access}: {state} ({self.reason})>"
+
+
+def thread_coefficient(address: AffineExpr) -> int:
+    """Address change per thread within a half warp (elements).
+
+    Within a warp only the X-direction ids vary: ``tidx`` by 1 and ``idx``
+    by 1 (``idx = bidx*bdimx + tidx``)."""
+    return address.coeff("tidx") + address.coeff("idx")
+
+
+def check_access(access: AccessInfo,
+                 block_dims: Tuple[int, int] = (16, 1)) -> Verdict:
+    """Apply the Section 3.2 rules to one access.
+
+    ``block_dims`` decomposes the absolute thread ids into their block
+    components (``idx = bidx*bdimx + tidx``); with a 16x16 block, terms
+    like ``idx - tidx + tidy`` correctly reduce to block-aligned bases.
+    """
+    if not access.resolved:
+        return Verdict(access, False, "unresolved index (skipped)")
+    bx, by = block_dims
+    addr = access.address
+    addr = addr.substitute("idx", AffineExpr({"bidx": bx, "tidx": 1}, 0))
+    addr = addr.substitute("idy", AffineExpr({"bidy": by, "tidy": 1}, 0))
+    if by == 1:
+        addr = addr.substitute("tidy", AffineExpr.constant(0))
+    if any(name.startswith("@") for name in addr.terms):
+        return _check_by_evaluation(access)
+    ct = addr.coeff("tidx")
+    if ct != 1:
+        if ct == 0:
+            return Verdict(access, False,
+                           "all threads read the same address (broadcast)")
+        return Verdict(access, False,
+                       f"per-thread stride is {ct} words, not 1")
+
+    # Base alignment: every term that is constant within a half warp but
+    # can take arbitrary values across half warps must keep the base a
+    # multiple of 16 words.
+    loop_names = {l.name for l in access.loops}
+    misaligners = []
+    if addr.const % SEGMENT_ELEMS:
+        misaligners.append(f"constant offset {addr.const}")
+    for name, coeff in addr.terms.items():
+        if name == "tidx":
+            continue
+        if name in loop_names:
+            loop = access.loop(name)
+            step = loop.step if loop and loop.step else 1
+            start = 0
+            if loop and loop.start is not None and loop.start.is_constant:
+                start = loop.start.const
+            if (coeff * step) % SEGMENT_ELEMS \
+                    or (coeff * start) % SEGMENT_ELEMS:
+                misaligners.append(
+                    f"loop index {name} (stride {coeff * step})")
+        else:
+            if coeff % SEGMENT_ELEMS:
+                misaligners.append(f"{name} (stride {coeff})")
+    if misaligners:
+        return Verdict(access, False,
+                       "base not 64-byte aligned for all values of: "
+                       + ", ".join(misaligners))
+    return Verdict(access, True, "16 consecutive, aligned words")
+
+
+def _check_by_evaluation(access: AccessInfo) -> Verdict:
+    """Numeric fallback for quasi-affine addresses (``%``/``/`` terms such
+    as the partition rotation or warp-local ids): evaluate the 16 thread
+    addresses at a few iterator samples and test the rules directly."""
+    loop_values = []
+    for sample in range(3):
+        bind = {"bidx": sample, "bidy": sample, "tidy": 0,
+                "idy": sample, "bdimx": SEGMENT_ELEMS, "bdimy": 1,
+                "gdimx": 64, "gdimy": 64}
+        for loop in access.loops:
+            step = loop.step or 1
+            start = 0
+            if loop.start is not None and loop.start.is_constant:
+                start = loop.start.const
+            bind[loop.name] = start + step * SEGMENT_ELEMS * sample
+        loop_values.append(bind)
+    for bind in loop_values:
+        addrs = []
+        for t in range(SEGMENT_ELEMS):
+            b = dict(bind)
+            b["tidx"] = t
+            b["idx"] = bind["bidx"] * SEGMENT_ELEMS + t
+            try:
+                addrs.append(access.eval_address(b))
+            except (KeyError, ZeroDivisionError):
+                return Verdict(access, False,
+                               "quasi-affine address not evaluable")
+        base = addrs[0]
+        if base % SEGMENT_ELEMS:
+            return Verdict(access, False,
+                           f"base address {base} not 64-byte aligned")
+        if any(addrs[t] != base + t for t in range(SEGMENT_ELEMS)):
+            return Verdict(access, False,
+                           "threads do not access consecutive words")
+    return Verdict(access, True,
+                   "16 consecutive, aligned words (by evaluation)")
+
+
+def check_accesses(accesses: List[AccessInfo]) -> List[Verdict]:
+    """Verdicts for every *global* access in the list."""
+    return [check_access(a) for a in accesses if a.space == "global"]
+
+
+class CoalesceCheckPass(Pass):
+    """Analysis pass: records verdicts in the context log."""
+
+    name = "coalesce-check"
+
+    def __init__(self):
+        self.verdicts: List[Verdict] = []
+
+    def run(self, ctx: CompilationContext) -> None:
+        from repro.ir.access import collect_accesses
+        accesses = collect_accesses(ctx.kernel, ctx.sizes)
+        self.verdicts = check_accesses(accesses)
+        for v in self.verdicts:
+            ctx.note(f"coalescing: {v!r}")

@@ -1,0 +1,75 @@
+"""Launch-parameter generation and hardware-limit validation.
+
+The compiler's second output besides the optimized kernel (paper Figure 1)
+is the kernel invocation configuration: the thread-grid and thread-block
+dimensions, derived from the output domain and the merge factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.passes.base import CompilationContext, Pass, PassError
+from repro.sim.interp import LaunchConfig
+
+
+@dataclass
+class LaunchPlan:
+    """The validated launch configuration plus resource usage."""
+
+    config: LaunchConfig
+    shared_mem_bytes: int
+    est_registers_per_thread: int
+    warnings: List[str]
+
+
+class LaunchPass(Pass):
+    """Compute the grid from the domain and check hardware limits."""
+
+    name = "launch"
+
+    def __init__(self):
+        self.plan: LaunchPlan = None
+
+    def run(self, ctx: CompilationContext) -> None:
+        machine = ctx.machine
+        warnings: List[str] = []
+        bx, by = ctx.block
+        threads = bx * by
+        if threads > machine.max_threads_per_block:
+            raise PassError(
+                f"block of {threads} threads exceeds the machine limit "
+                f"of {machine.max_threads_per_block}")
+        shared = ctx.shared_mem_bytes()
+        if shared > machine.shared_mem_per_sm:
+            raise PassError(
+                f"kernel needs {shared} B of shared memory; the SM has "
+                f"{machine.shared_mem_per_sm} B")
+        regs = ctx.est_registers * threads
+        if regs > machine.registers_per_sm:
+            warnings.append(
+                f"estimated register demand {regs} exceeds the register "
+                f"file ({machine.registers_per_sm}); occupancy will be "
+                f"register-limited")
+        if threads < machine.min_threads_for_latency and \
+                ctx.domain[0] * ctx.domain[1] > threads:
+            warnings.append(
+                f"only {threads} threads per block; the CUDA guide "
+                f"recommends at least {machine.min_threads_for_latency} "
+                f"active threads per SM to hide register latency")
+
+        wx, wy = ctx.work_per_block
+        if ctx.domain[0] % wx or ctx.domain[1] % wy:
+            warnings.append(
+                f"domain {ctx.domain} is not a multiple of the per-block "
+                f"work {ctx.work_per_block}; boundary blocks assumed "
+                f"guarded")
+        config = LaunchConfig(grid=ctx.grid, block=ctx.block)
+        self.plan = LaunchPlan(config=config, shared_mem_bytes=shared,
+                               est_registers_per_thread=ctx.est_registers,
+                               warnings=warnings)
+        ctx.note(f"launch: {config}, shared={shared}B, "
+                 f"~{ctx.est_registers} regs/thread")
+        for w in warnings:
+            ctx.note(f"launch warning: {w}")

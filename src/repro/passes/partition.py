@@ -1,0 +1,163 @@
+"""Partition-camping elimination (paper Section 3.7, Figure 9).
+
+**Detection.** Concurrent memory requests come from neighboring thread
+blocks along X, so the compiler checks every global access whose address
+depends on ``bidx`` (directly or through ``idx``): if the address stride
+between blocks ``bidx`` and ``bidx+1`` is a multiple of
+``partition_width * num_partitions``, all blocks queue on one partition.
+
+**Elimination.**
+
+* 1-D grids (mv): a per-block offset of one partition width is added to the
+  main loop's walk and the indices wrap around the row, rotating each
+  block's traffic to a different partition (Figure 9b).  This preserves
+  semantics because the strip-mined loop consumes the whole row and the
+  rotation only permutes the iteration order.
+* 2-D grids (tp): diagonal block reordering [Ruetsch & Micikevicius],
+  ``newbidy = bidx; newbidx = (bidx + bidy) % gridDim.x``, applied by
+  substituting the remapped ids throughout the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ir.access import AccessInfo, collect_accesses
+from repro.lang.astnodes import (
+    Binary,
+    DeclStmt,
+    Expr,
+    Ident,
+    IntLit,
+    Stmt,
+)
+from repro.lang.types import INT
+from repro.lang.visitor import substitute_in_body
+from repro.passes.base import CompilationContext, Pass
+from repro.passes.coalesce_transform import _fresh, _used_names
+
+
+def camping_delta_bytes(access: AccessInfo, block_x: int) -> int:
+    """Address stride (bytes) between X-neighboring thread blocks."""
+    addr = access.address
+    delta_elems = addr.coeff("bidx") + addr.coeff("idx") * block_x
+    return delta_elems * access.elem.size_bytes
+
+
+def detect_camping(ctx: CompilationContext) -> List[AccessInfo]:
+    """Accesses whose inter-block stride lands on a single partition."""
+    stride = ctx.machine.camping_stride_bytes
+    out = []
+    for acc in collect_accesses(ctx.kernel, ctx.sizes):
+        if acc.space != "global" or not acc.resolved:
+            continue
+        delta = camping_delta_bytes(acc, ctx.block[0])
+        if delta != 0 and delta % stride == 0:
+            out.append(acc)
+    return out
+
+
+class PartitionCampingPass(Pass):
+    """Detect and eliminate partition camping."""
+
+    name = "partition-camping"
+
+    def run(self, ctx: CompilationContext) -> None:
+        camping = detect_camping(ctx)
+        if not camping:
+            ctx.note("partition camping: none detected")
+            return
+        for acc in camping:
+            ctx.note(f"partition camping: {acc!r} strides "
+                     f"{camping_delta_bytes(acc, ctx.block[0])} bytes "
+                     f"between neighboring blocks")
+        grid = ctx.grid
+        if grid[1] == 1:
+            self._apply_offset(ctx, camping)
+        else:
+            self._apply_diagonal(ctx, grid)
+
+    # -- 1-D grids: address-offset insertion ---------------------------------
+
+    def _apply_offset(self, ctx: CompilationContext,
+                      camping: List[AccessInfo]) -> None:
+        loop = ctx.main_loop
+        if loop is None:
+            ctx.note("partition camping: no main loop to rotate; skipped")
+            return
+        iname = loop.iter_name()
+        if iname is None:
+            ctx.note("partition camping: loop iterator not found; skipped")
+            return
+        # The rotation wraps within the camping array's row; it is only
+        # sound when the loop walks the entire row.
+        widths = set()
+        for acc in camping:
+            if iname not in {l.name for l in acc.loops}:
+                continue
+            widths.add(acc.dims[-1])
+        if len(widths) != 1:
+            ctx.note("partition camping: ambiguous row width; skipped")
+            return
+        width = widths.pop()
+        for acc in camping:
+            loop_info = acc.loop(iname)
+            if loop_info is None or loop_info.bound is None or \
+                    not loop_info.bound.is_constant or \
+                    loop_info.bound.const != width:
+                ctx.note("partition camping: loop does not cover the whole "
+                         "row; offset insertion skipped")
+                return
+        if width % 16:
+            ctx.note("partition camping: row width not a multiple of 16; "
+                     "skipped")
+            return
+
+        used = _used_names(ctx.kernel)
+        rot = _fresh(f"{iname}_p", used)
+        pw_elems = ctx.machine.partition_width_bytes // 4
+        # int i_p = (i + PW*bidx) % width;
+        decl = DeclStmt(INT, rot, init=Binary(
+            "%",
+            Binary("+", Ident(iname),
+                   Binary("*", IntLit(pw_elems), Ident("bidx"))),
+            IntLit(width)))
+        loop.body = [decl] + substitute_in_body(loop.body,
+                                                {iname: Ident(rot)})
+        ctx.partition_fix = "offset"
+        ctx.note(f"partition camping: inserted per-block address offset "
+                 f"({pw_elems} elements * bidx, wrapped at {width})")
+
+    # -- 2-D grids: diagonal block reordering ---------------------------------
+
+    def _apply_diagonal(self, ctx: CompilationContext,
+                        grid: Tuple[int, int]) -> None:
+        if grid[0] != grid[1]:
+            ctx.note("partition camping: non-square grid; diagonal "
+                     "reordering skipped")
+            return
+        used = _used_names(ctx.kernel)
+        nbidx = _fresh("bidx_d", used)
+        nbidy = _fresh("bidy_d", used)
+        # Concrete block/grid extents keep the remapped addresses analyzable
+        # (and match the literal style of the paper's generated code).
+        bdimx, bdimy = ctx.block
+        decls: List[Stmt] = [
+            DeclStmt(INT, nbidx, init=Binary(
+                "%", Binary("+", Ident("bidx"), Ident("bidy")),
+                IntLit(grid[0]))),
+            DeclStmt(INT, nbidy, init=Ident("bidx")),
+        ]
+        mapping = {
+            "bidx": Ident(nbidx),
+            "bidy": Ident(nbidy),
+            "idx": Binary("+", Binary("*", Ident(nbidx), IntLit(bdimx)),
+                          Ident("tidx")),
+            "idy": Binary("+", Binary("*", Ident(nbidy), IntLit(bdimy)),
+                          Ident("tidy")),
+        }
+        ctx.kernel.body = decls + substitute_in_body(ctx.kernel.body,
+                                                     mapping)
+        ctx.partition_fix = "diagonal"
+        ctx.note("partition camping: applied diagonal block reordering "
+                 "(newbidy = bidx, newbidx = (bidx + bidy) % gridDim.x)")

@@ -1,0 +1,27 @@
+"""GPU simulator substrate.
+
+Two layers (see DESIGN.md):
+
+* **Functional** — :mod:`repro.sim.interp` executes kernel ASTs over a grid
+  of thread blocks with exact ``__syncthreads``/``__global_sync`` barrier
+  semantics, backed by :mod:`repro.sim.memory`.  Used to prove that every
+  compiler transformation preserves the kernel's results.
+* **Analytic** — :mod:`repro.sim.perf` estimates execution time on a machine
+  description (:mod:`repro.machine`) from static access analysis, the
+  occupancy calculator (:mod:`repro.sim.occupancy`), and the G80/GT200
+  memory rules (coalescing, partitions, shared-memory banks).
+"""
+
+from repro.sim.interp import Interpreter, LaunchConfig, launch
+from repro.sim.memory import GlobalMemory, SharedMemory
+from repro.sim.values import Float2, Float4
+
+__all__ = [
+    "Float2",
+    "Float4",
+    "GlobalMemory",
+    "Interpreter",
+    "LaunchConfig",
+    "SharedMemory",
+    "launch",
+]

@@ -1,0 +1,80 @@
+"""SM occupancy calculator (the balanced-resource-usage rules of
+paper Section 2c and the thread-count heuristics of Section 4.1).
+
+Given a launch configuration and per-block resource usage, computes how
+many blocks and warps an SM can hold concurrently — the parallelism the
+timing model uses for latency hiding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine import GpuSpec
+from repro.sim.interp import LaunchConfig
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Concurrent residency of one kernel on one SM."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    threads_per_sm: int
+    limiter: str            # what capped the residency
+
+    @property
+    def active(self) -> bool:
+        return self.blocks_per_sm > 0
+
+
+def estimate_registers(kernel) -> int:
+    """Rough per-thread register estimate from scalar declarations.
+
+    Matches the granularity the paper's compiler works at: each live float
+    or int scalar takes one register, vector types take their lane count,
+    plus a fixed overhead for addressing and ids.
+    """
+    from repro.lang.astnodes import DeclStmt, walk_stmts
+    regs = 6  # ids, address arithmetic, spill slack
+    for stmt in walk_stmts(kernel.body):
+        if isinstance(stmt, DeclStmt) and not stmt.is_array:
+            regs += stmt.type.lanes
+    return min(regs, 124)
+
+
+def compute_occupancy(machine: GpuSpec, config: LaunchConfig,
+                      shared_bytes: int, registers_per_thread: int,
+                      ) -> Occupancy:
+    """How many copies of this block fit on one SM."""
+    threads = config.threads_per_block
+    if threads == 0:
+        return Occupancy(0, 0, 0, "empty block")
+    limits = {
+        "max blocks per SM": machine.max_blocks_per_sm,
+        "thread contexts": machine.max_threads_per_sm // threads,
+        "register file": (machine.registers_per_sm
+                          // max(1, registers_per_thread * threads)),
+        "shared memory": (machine.shared_mem_per_sm // shared_bytes
+                          if shared_bytes > 0 else machine.max_blocks_per_sm),
+    }
+    limiter, blocks = min(limits.items(), key=lambda kv: kv[1])
+    if blocks < 1:
+        # Real toolchains spill registers to local memory rather than
+        # refuse the launch; model that as one resident block.
+        blocks = 1
+        limiter += " (register spill, single block)"
+    # Cannot hold more blocks than the grid provides per SM: a 32-block
+    # grid on 30 SMs leaves roughly one resident block each, however big
+    # the per-SM limits are (this is the under-parallelization the paper's
+    # merge heuristics exist to avoid).
+    total_blocks = config.grid[0] * config.grid[1]
+    per_sm_share = max(1, -(-total_blocks // machine.num_sms))
+    if blocks > per_sm_share:
+        blocks = per_sm_share
+        limiter = "grid size"
+    warps = blocks * ((threads + machine.warp_size - 1)
+                      // machine.warp_size)
+    warps = min(warps, machine.max_warps_per_sm)
+    return Occupancy(blocks_per_sm=blocks, warps_per_sm=warps,
+                     threads_per_sm=blocks * threads, limiter=limiter)

@@ -1,0 +1,67 @@
+"""Runtime values for the interpreter: C-style numerics and vector types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Float2:
+    """A CUDA ``float2``: two 32-bit lanes accessed as ``.x`` / ``.y``."""
+
+    x: float = 0.0
+    y: float = 0.0
+
+    LANES = 2
+    MEMBERS = ("x", "y")
+
+    def copy(self) -> "Float2":
+        return Float2(self.x, self.y)
+
+
+@dataclass
+class Float4:
+    """A CUDA ``float4``: four 32-bit lanes ``.x .y .z .w``."""
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+    w: float = 0.0
+
+    LANES = 4
+    MEMBERS = ("x", "y", "z", "w")
+
+    def copy(self) -> "Float4":
+        return Float4(self.x, self.y, self.z, self.w)
+
+
+def c_div(a, b):
+    """C semantics: integer division truncates toward zero."""
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise ZeroDivisionError("integer division by zero in kernel")
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def c_mod(a, b):
+    """C semantics: remainder has the sign of the dividend."""
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise ZeroDivisionError("integer modulo by zero in kernel")
+        return a - c_div(a, b) * b
+    raise TypeError("'%' requires integer operands in the kernel language")
+
+
+def default_value(type_name: str):
+    """Zero value of a scalar type."""
+    if type_name == "int":
+        return 0
+    if type_name == "float":
+        return 0.0
+    if type_name == "float2":
+        return Float2()
+    if type_name == "float4":
+        return Float4()
+    raise ValueError(f"unknown scalar type {type_name!r}")

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+MM_SRC = """
+__global__ void mm(float a[n][w], float b[w][m], float c[n][m], int n, int m, int w) {
+    float sum = 0;
+    for (int i = 0; i < w; i++)
+        sum += a[idy][i] * b[i][idx];
+    c[idy][idx] = sum;
+}
+"""
+
+MV_SRC = """
+__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+    float sum = 0;
+    for (int i = 0; i < w; i++)
+        sum += a[idx][i] * b[i];
+    c[idx] = sum;
+}
+"""
+
+TP_SRC = """
+__global__ void tp(float a[m][n], float c[n][m], int n, int m) {
+    c[idy][idx] = a[idx][idy];
+}
+"""
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mm_source():
+    return MM_SRC
+
+
+@pytest.fixture
+def mv_source():
+    return MV_SRC
+
+
+@pytest.fixture
+def tp_source():
+    return TP_SRC

@@ -1,0 +1,154 @@
+"""Affine-form algebra and the expression-to-affine builder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.affine import AffineExpr, NotAffine, affine_of
+from repro.lang.parser import parse_kernel
+
+
+def build(expr_text, symbolic=("idx", "idy", "tidx", "i", "n")):
+    src = f"__global__ void f(int n) {{ int q = {expr_text}; }}"
+    init = parse_kernel(src).body[0].init
+    env = {s: AffineExpr.term(s) for s in symbolic}
+    return affine_of(init, env)
+
+
+class TestAlgebra:
+    def test_constant(self):
+        c = AffineExpr.constant(5)
+        assert c.is_constant and c.const == 5
+
+    def test_zero_coefficients_dropped(self):
+        form = AffineExpr({"x": 0, "y": 2}, 1)
+        assert "x" not in form.terms and form.coeff("y") == 2
+
+    def test_addition(self):
+        a = AffineExpr.term("x", 2) + AffineExpr.term("x", 3)
+        assert a.coeff("x") == 5
+
+    def test_subtraction_cancels(self):
+        a = AffineExpr.term("x") - AffineExpr.term("x")
+        assert a.is_constant and a.const == 0
+
+    def test_scale(self):
+        a = AffineExpr({"x": 2}, 3).scale(-2)
+        assert a.coeff("x") == -4 and a.const == -6
+
+    def test_multiply_requires_constant_side(self):
+        x = AffineExpr.term("x")
+        with pytest.raises(NotAffine):
+            x.multiply(x)
+
+    def test_floordiv_exact(self):
+        a = AffineExpr({"x": 4}, 8).floordiv_const(4)
+        assert a.coeff("x") == 1 and a.const == 2
+
+    def test_floordiv_inexact_raises(self):
+        with pytest.raises(NotAffine):
+            AffineExpr({"x": 3}, 0).floordiv_const(2)
+
+    def test_substitute(self):
+        a = AffineExpr({"idx": 2}, 1)
+        b = a.substitute("idx", AffineExpr({"bidx": 16, "tidx": 1}, 0))
+        assert b.coeff("bidx") == 32 and b.coeff("tidx") == 2
+        assert b.const == 1
+
+    def test_evaluate(self):
+        a = AffineExpr({"x": 3, "y": -1}, 7)
+        assert a.evaluate({"x": 2, "y": 5}) == 8
+
+    def test_evaluate_missing_binding_raises(self):
+        with pytest.raises(KeyError):
+            AffineExpr.term("x").evaluate({})
+
+    def test_str_readable(self):
+        assert str(AffineExpr({"i": 1, "idy": 64}, 0)) == "i + 64*idy"
+
+
+class TestBuilder:
+    def test_simple_sum(self):
+        form = build("idx + 5")
+        assert form.coeff("idx") == 1 and form.const == 5
+
+    def test_multiplication_by_constant(self):
+        form = build("2 * idx + 1")
+        assert form.coeff("idx") == 2 and form.const == 1
+
+    def test_nested(self):
+        form = build("(idy + 1) * 4 - idx")
+        assert form.coeff("idy") == 4
+        assert form.coeff("idx") == -1
+        assert form.const == 4
+
+    def test_division_by_constant_exact(self):
+        form = build("(4 * idx + 8) / 4")
+        assert form.coeff("idx") == 1 and form.const == 2
+
+    def test_shift_left(self):
+        form = build("idx << 3")
+        assert form.coeff("idx") == 8
+
+    def test_modulo_nonconstant_not_affine(self):
+        with pytest.raises(NotAffine):
+            build("idx % 16")
+
+    def test_product_of_symbols_not_affine(self):
+        with pytest.raises(NotAffine):
+            build("idx * idy")
+
+    def test_unknown_identifier_not_affine(self):
+        with pytest.raises(NotAffine):
+            build("idx + unknown_var", symbolic=("idx",))
+
+    def test_constant_modulo_folds(self):
+        form = build("7 % 4")
+        assert form.const == 3
+
+    def test_unary_minus(self):
+        form = build("-idx + 3")
+        assert form.coeff("idx") == -1 and form.const == 3
+
+
+# -- property-based: affine algebra is a module over the integers ----------
+
+_terms = st.dictionaries(st.sampled_from(["x", "y", "z"]),
+                         st.integers(-50, 50), max_size=3)
+_forms = st.tuples(_terms, st.integers(-100, 100)).map(
+    lambda t: AffineExpr(t[0], t[1]))
+_bindings = st.fixed_dictionaries({
+    "x": st.integers(-20, 20),
+    "y": st.integers(-20, 20),
+    "z": st.integers(-20, 20)})
+
+
+class TestProperties:
+    @given(_forms, _forms, _bindings)
+    @settings(max_examples=200, deadline=None)
+    def test_addition_homomorphism(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(_forms, st.integers(-10, 10), _bindings)
+    @settings(max_examples=200, deadline=None)
+    def test_scale_homomorphism(self, a, k, env):
+        assert a.scale(k).evaluate(env) == k * a.evaluate(env)
+
+    @given(_forms, _forms)
+    @settings(max_examples=100, deadline=None)
+    def test_commutativity(self, a, b):
+        assert a + b == b + a
+
+    @given(_forms)
+    @settings(max_examples=100, deadline=None)
+    def test_subtract_self_is_zero(self, a):
+        z = a - a
+        assert z.is_constant and z.const == 0
+
+    @given(_forms, _forms, _bindings)
+    @settings(max_examples=100, deadline=None)
+    def test_substitution_consistent_with_evaluation(self, a, repl, env):
+        substituted = a.substitute("x", repl)
+        env2 = dict(env)
+        env2["x"] = repl.evaluate(env)
+        assert substituted.evaluate(env) == a.evaluate(env2)

@@ -1,0 +1,58 @@
+"""The python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from tests.conftest import MM_SRC
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "mm.cu"
+    path.write_text(MM_SRC)
+    return str(path)
+
+
+def run_cli(capsys, *args):
+    code = main(list(args))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestCli:
+    def test_full_pipeline(self, kernel_file, capsys):
+        code, out = run_cli(capsys, kernel_file,
+                            "--size", "n=256", "--size", "m=256",
+                            "--size", "w=256", "--domain", "256x256")
+        assert code == 0
+        assert "__global__ void mm" in out
+        assert "// launch: grid(" in out
+        assert "decision log" in out
+
+    def test_stage_control(self, kernel_file, capsys):
+        code, out = run_cli(capsys, kernel_file,
+                            "--size", "n=256", "--size", "m=256",
+                            "--size", "w=256", "--domain", "256x256",
+                            "--stage", "naive", "--quiet")
+        assert code == 0
+        assert "__shared__" not in out
+
+    def test_machine_selection(self, kernel_file, capsys):
+        code, out = run_cli(capsys, kernel_file,
+                            "--size", "n=256", "--size", "m=256",
+                            "--size", "w=256", "--domain", "256x256",
+                            "--machine", "GTX8800")
+        assert "GTX8800" in out
+
+    def test_1d_domain(self, tmp_path, capsys):
+        path = tmp_path / "vv.cu"
+        path.write_text(
+            "__global__ void vv(float a[n], float b[n], float c[n], "
+            "int n) { c[idx] = a[idx] * b[idx]; }")
+        code, out = run_cli(capsys, str(path), "--size", "n=1024",
+                            "--domain", "1024")
+        assert code == 0
+
+    def test_bad_size_argument(self, kernel_file):
+        with pytest.raises(SystemExit):
+            main([kernel_file, "--size", "nonsense", "--domain", "64x64"])

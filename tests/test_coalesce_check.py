@@ -1,0 +1,119 @@
+"""The Section 3.2 coalescing rules, on the paper's own examples."""
+
+import pytest
+
+from repro.ir.access import collect_accesses
+from repro.lang.parser import parse_kernel
+from repro.passes.coalesce_check import check_access
+
+SIZES = {"n": 64, "m": 64, "w": 64}
+
+
+def verdict_for(source, array, sizes=SIZES, block=(16, 1), store=False):
+    accs = collect_accesses(parse_kernel(source), sizes)
+    acc = next(a for a in accs
+               if a.array == array and a.is_store == store)
+    return check_access(acc, block_dims=block)
+
+
+def wrap(body, params="float a[n][w], float b[w][m], float c[n][m], "
+                      "int n, int m, int w"):
+    return f"__global__ void f({params}) {{ {body} }}"
+
+
+class TestPaperExamples:
+    def test_a_idy_i_not_coalesced(self, mm_source):
+        """Paper: 'the array access a[idy][i] is not coalesced'."""
+        v = verdict_for(mm_source, "a")
+        assert not v.coalesced
+        assert "broadcast" in v.reason or "same address" in v.reason
+
+    def test_b_i_idx_coalesced(self, mm_source):
+        """Paper: 'the array access b[i][idx] is coalesced as long as each
+        row of array b is aligned'."""
+        v = verdict_for(mm_source, "b")
+        assert v.coalesced
+
+    def test_b_idx_plus_i_not_coalesced(self):
+        """Paper: 'for the array access b[idx+i] ... it is not a coalesced
+        access since the base address is not always a multiple of 16
+        words'."""
+        src = wrap("float s = 0; for (int i = 0; i < w; i++) "
+                   "s += b[0][idx + i]; c[idy][idx] = s;")
+        v = verdict_for(src, "b")
+        assert not v.coalesced
+        assert "loop index i" in v.reason
+
+    def test_idx_in_higher_dimension_not_coalesced(self):
+        """Paper: 'A[][idx][0] ... not coalesced'."""
+        src = wrap("c[idy][idx] = a[idx][0];")
+        v = verdict_for(src, "a")
+        assert not v.coalesced
+        assert "stride" in v.reason
+
+    def test_row_stride_not_multiple_of_16(self):
+        # 60-wide rows break the alignment requirement for b[i][idx].
+        src = wrap("float s = 0; for (int i = 0; i < w; i++) "
+                   "s += b[i][idx]; c[idy][idx] = s;")
+        v = verdict_for(src, "b", sizes={"n": 60, "m": 60, "w": 60})
+        assert not v.coalesced
+
+    def test_constant_offset_misaligns(self):
+        src = wrap("c[idy][idx] = b[0][idx + 3];")
+        v = verdict_for(src, "b")
+        assert not v.coalesced
+        assert "constant offset" in v.reason
+
+    def test_store_checked_too(self, mm_source):
+        v = verdict_for(mm_source, "c", store=True)
+        assert v.coalesced
+
+
+class TestBlockDimsDecomposition:
+    TP_TILE = """
+    __global__ void f(float a[m][n], float c[n][m], int n, int m) {
+        __shared__ float tile[16][17];
+        tile[tidy][tidx] = a[idx - tidx + tidy][idy - tidy + tidx];
+        __syncthreads();
+        c[idy][idx] = tile[tidx][tidy];
+    }
+    """
+
+    def test_exchanged_tile_load_coalesced_at_16x16(self):
+        v = verdict_for(self.TP_TILE, "a", block=(16, 16))
+        assert v.coalesced
+
+    def test_unresolved_access_skipped(self):
+        src = """
+        __global__ void f(float a[n], int ind[n], int n) {
+            a[idx] = a[ind[idx]];
+        }
+        """
+        accs = collect_accesses(parse_kernel(src), {"n": 64})
+        unresolved = next(a for a in accs if not a.resolved)
+        v = check_access(unresolved)
+        assert not v.coalesced
+        assert "unresolved" in v.reason
+
+
+class TestEvaluationFallback:
+    ROTATED = """
+    __global__ void f(float a[n][w], float c[n], int n, int w) {
+        float s = 0;
+        for (int i = 0; i < w; i = i + 16) {
+            int i_p = (i + 64 * bidx) % w;
+            s += a[idy][i_p + tidx];
+        }
+        c[idx] = s;
+    }
+    """
+
+    def test_rotation_stays_coalesced(self):
+        v = verdict_for(self.ROTATED, "a", sizes={"n": 64, "w": 64})
+        assert v.coalesced
+        assert "evaluation" in v.reason
+
+    def test_odd_rotation_not_coalesced(self):
+        src = self.ROTATED.replace("64 * bidx", "3 * bidx")
+        v = verdict_for(src, "a", sizes={"n": 64, "w": 64})
+        assert not v.coalesced

@@ -1,0 +1,259 @@
+"""The Section 3.3 staging transform: structure and semantics per case."""
+
+import numpy as np
+import pytest
+
+from repro.lang.astnodes import DeclStmt, ForStmt, IfStmt, SyncStmt, \
+    walk_stmts
+from repro.lang.parser import parse_kernel
+from repro.lang.printer import print_kernel
+from repro.passes.base import CompilationContext, PassError
+from repro.passes.coalesce_transform import CoalesceTransformPass, \
+    classify_case
+from repro.ir.access import collect_accesses
+from repro.sim.interp import LaunchConfig, launch
+
+SIZES = {"n": 64, "m": 64, "w": 64}
+
+
+def transform(source, sizes, domain, block=(16, 1)):
+    kernel = parse_kernel(source)
+    ctx = CompilationContext(kernel=kernel, sizes=dict(sizes), domain=domain)
+    CoalesceTransformPass(block=block).run(ctx)
+    return kernel, ctx
+
+
+def shared_decls(kernel):
+    return [s for s in walk_stmts(kernel.body)
+            if isinstance(s, DeclStmt) and s.shared]
+
+
+def run_and_check(kernel, ctx, arrays, expected, rtol=1e-4):
+    launch(kernel, LaunchConfig(grid=ctx.grid, block=ctx.block),
+           arrays, ctx.sizes)
+    for name, ref in expected.items():
+        np.testing.assert_allclose(arrays[name], ref, rtol=rtol, atol=1e-6)
+
+
+class TestClassification:
+    def test_mm_a_is_case_r(self, mm_source):
+        accs = collect_accesses(parse_kernel(mm_source), SIZES)
+        a = next(x for x in accs if x.array == "a")
+        assert classify_case(a).case == "R"
+
+    def test_mv_a_is_case_c(self, mv_source):
+        accs = collect_accesses(parse_kernel(mv_source),
+                                {"n": 64, "w": 64})
+        a = next(x for x in accs if x.array == "a")
+        assert classify_case(a).case == "C"
+
+    def test_tp_a_is_case_t(self, tp_source):
+        accs = collect_accesses(parse_kernel(tp_source), SIZES)
+        a = next(x for x in accs if x.array == "a")
+        assert classify_case(a).case == "T"
+
+    def test_stencil_is_case_s(self):
+        src = """
+        __global__ void f(float a[n][m], float c[n][m], int n, int m) {
+            c[idy][idx] = a[idy][idx + 1];
+        }
+        """
+        accs = collect_accesses(parse_kernel(src), {"n": 64, "m": 128})
+        a = next(x for x in accs if x.array == "a" and x.is_load)
+        assert classify_case(a).case == "S"
+
+    def test_small_table_is_case_b(self):
+        src = """
+        __global__ void f(float t[16], float c[n], int n) {
+            float s = 0;
+            for (int i = 0; i < 16; i++)
+                s += t[i];
+            c[idx] = s;
+        }
+        """
+        accs = collect_accesses(parse_kernel(src), {"n": 64})
+        t = next(x for x in accs if x.array == "t")
+        assert classify_case(t).case == "B"
+
+    def test_diagonal_walk_not_staged(self):
+        src = """
+        __global__ void f(float a[n][n], float c[n], int n) {
+            float s = 0;
+            for (int i = 0; i < n; i++)
+                s += a[i][i];
+            c[idx] = s;
+        }
+        """
+        accs = collect_accesses(parse_kernel(src), {"n": 64})
+        a = next(x for x in accs if x.array == "a")
+        assert classify_case(a) is None
+
+    def test_coalesced_access_not_a_candidate(self, mm_source):
+        accs = collect_accesses(parse_kernel(mm_source), SIZES)
+        b = next(x for x in accs if x.array == "b")
+        # b is coalesced; classify_case may match shapes, but the pass only
+        # consults it for non-coalesced accesses.  R-shape here is the
+        # row-broadcast test's complement: b has idx, so it's not R.
+        cand = classify_case(b)
+        assert cand is None or cand.case != "R"
+
+
+class TestCaseR:
+    def test_structure_matches_figure_3a(self, mm_source):
+        kernel, ctx = transform(mm_source, SIZES, (64, 64))
+        text = print_kernel(kernel)
+        assert "__shared__ float shared0[16]" in text
+        assert "shared0[tidx] = a[idy][i + tidx]" in text
+        assert "b[i + k][idx]" in text
+        assert ctx.main_loop is not None
+        # strip-mined: outer step 16, inner k loop of 16.
+        assert "i = i + 16" in text
+        assert ctx.block == (16, 1)
+
+    def test_semantics_preserved(self, mm_source, rng):
+        kernel, ctx = transform(mm_source, SIZES, (64, 64))
+        a = rng.random((64, 64), dtype=np.float32)
+        b = rng.random((64, 64), dtype=np.float32)
+        arrays = {"a": a, "b": b, "c": np.zeros((64, 64), np.float32)}
+        run_and_check(kernel, ctx, arrays, {"c": a @ b})
+
+    def test_block_merge_guard_figure_5(self, mm_source):
+        kernel, ctx = transform(mm_source, SIZES, (64, 64), block=(32, 1))
+        text = print_kernel(kernel)
+        assert "if (tidx < 16)" in text
+
+    def test_triangular_bound_guarded(self):
+        src = """
+        __global__ void f(float a[n][n], float x[n][m], float c[n][m],
+                          int n, int m) {
+            for (int i = 0; i < n; i++) {
+                float s = 0;
+                for (int j = 0; j < i; j++)
+                    s += a[i][j] * x[j][idx];
+                c[i][idx] = s;
+            }
+        }
+        """
+        kernel, ctx = transform(src, SIZES, (64, 1))
+        text = print_kernel(kernel)
+        assert "j + tidx < i" in text
+        assert "j + k < i" in text
+
+
+class TestCaseC:
+    def test_structure_matches_figure_3b(self, mv_source):
+        kernel, ctx = transform(mv_source, {"n": 64, "w": 64}, (64, 1))
+        text = print_kernel(kernel)
+        assert "[16][17]" in text            # padded against bank conflicts
+        assert "idx - tidx + l" in text
+        assert "[tidx][k]" in text           # column-walk use site
+        # At this small size the whole vector b fits the broadcast-table
+        # budget and is copied into shared memory wholesale.
+        assert "table0" in text
+
+    def test_semantics_preserved(self, mv_source, rng):
+        kernel, ctx = transform(mv_source, {"n": 64, "w": 64}, (64, 1))
+        a = rng.random((64, 64), dtype=np.float32)
+        b = rng.random(64, dtype=np.float32)
+        arrays = {"a": a, "b": b, "c": np.zeros(64, np.float32)}
+        run_and_check(kernel, ctx, arrays, {"c": a @ b}, rtol=2e-3)
+
+    def test_per_warp_slices_under_block_merge(self, mv_source, rng):
+        kernel, ctx = transform(mv_source, {"n": 64, "w": 64}, (64, 1),
+                                block=(32, 1))
+        text = print_kernel(kernel)
+        assert "wid" in text and "wtidx" in text
+        assert "[32][17]" in text            # widened per-warp rows
+        a = rng.random((64, 64), dtype=np.float32)
+        b = rng.random(64, dtype=np.float32)
+        arrays = {"a": a, "b": b, "c": np.zeros(64, np.float32)}
+        run_and_check(kernel, ctx, arrays, {"c": a @ b}, rtol=2e-3)
+
+    def test_case_c_rejects_two_row_blocks(self, mv_source):
+        with pytest.raises(PassError):
+            transform(mv_source, {"n": 64, "w": 64}, (64, 1),
+                      block=(16, 2))
+
+
+class TestCaseT:
+    def test_structure(self, tp_source):
+        kernel, ctx = transform(tp_source, SIZES, (64, 64))
+        text = print_kernel(kernel)
+        assert ctx.block == (16, 16)
+        assert "[16][17]" in text
+        assert "tile0[tidy][tidx]" in text
+        assert "tile0[tidx][tidy]" in text
+
+    def test_semantics(self, tp_source, rng):
+        kernel, ctx = transform(tp_source, SIZES, (64, 64))
+        a = rng.random((64, 64), dtype=np.float32)
+        arrays = {"a": a, "c": np.zeros((64, 64), np.float32)}
+        run_and_check(kernel, ctx, arrays, {"c": a.T})
+
+
+class TestCaseSB:
+    CONV = """
+    __global__ void conv(float a[np_][mp], float f[kh][kw], float c[n][m],
+                         int n, int m, int np_, int mp, int kh, int kw) {
+        float sum = 0;
+        for (int ki = 0; ki < kh; ki++)
+            for (int kj = 0; kj < kw; kj++)
+                sum += a[idy + ki][idx + kj] * f[ki][kj];
+        c[idy][idx] = sum;
+    }
+    """
+    CONV_SIZES = {"n": 32, "m": 32, "kh": 4, "kw": 4,
+                  "np_": 36, "mp": 32 + 4 + 64}
+
+    def test_apron_and_table_staging(self):
+        kernel, ctx = transform(self.CONV, self.CONV_SIZES, (32, 32))
+        text = print_kernel(kernel)
+        assert "apron" in text
+        assert "table" in text               # the filter copied wholesale
+        cases = {s.case for s in ctx.staged_loads}
+        assert cases == {"S", "B"}
+
+    def test_semantics(self, rng):
+        kernel, ctx = transform(self.CONV, self.CONV_SIZES, (32, 32))
+        s = self.CONV_SIZES
+        a = rng.random((s["np_"], s["mp"]), dtype=np.float32)
+        f = rng.random((4, 4), dtype=np.float32)
+        out = np.zeros((32, 32), np.float32)
+        expected = np.zeros((32, 32))
+        for ki in range(4):
+            for kj in range(4):
+                expected += a[ki:ki + 32, kj:kj + 32] * f[ki, kj]
+        run_and_check(kernel, ctx, {"a": a, "f": f, "c": out},
+                      {"c": expected}, rtol=1e-3)
+
+    def test_wide_block_distributed_rows(self, rng):
+        kernel, ctx = transform(self.CONV, self.CONV_SIZES, (32, 32),
+                                block=(32, 2))
+        text = print_kernel(kernel)
+        assert "sr = tidy" in text          # rows distributed over tidy
+        s = self.CONV_SIZES
+        a = rng.random((s["np_"], s["mp"]), dtype=np.float32)
+        f = rng.random((4, 4), dtype=np.float32)
+        out = np.zeros((32, 32), np.float32)
+        expected = np.zeros((32, 32))
+        for ki in range(4):
+            for kj in range(4):
+                expected += a[ki:ki + 32, kj:kj + 32] * f[ki, kj]
+        run_and_check(kernel, ctx, {"a": a, "f": f, "c": out},
+                      {"c": expected}, rtol=1e-3)
+
+
+class TestNoOpCases:
+    def test_elementwise_untouched(self):
+        src = """
+        __global__ void f(float a[n], float c[n], int n) {
+            c[idx] = a[idx] * 2.0f;
+        }
+        """
+        kernel, ctx = transform(src, {"n": 256}, (256, 1))
+        assert not shared_decls(kernel)
+        assert not ctx.staged_loads
+
+    def test_block_x_must_be_multiple_of_16(self, mm_source):
+        with pytest.raises(PassError):
+            CoalesceTransformPass(block=(20, 1))

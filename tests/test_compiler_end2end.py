@@ -1,0 +1,162 @@
+"""End-to-end compiler tests: every suite kernel, every stage prefix."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (CompiledKernel, CompileOptions, compile_kernel,
+                            compile_stages, uses_global_sync)
+from repro.kernels.suite import ALGORITHMS
+from repro.lang.parser import parse_kernel
+from repro.lang.semantic import SemanticError
+from repro.machine import GTX280, GTX8800
+from repro.passes.base import PassError
+
+NON_REDUCTION = [name for name, a in ALGORITHMS.items()
+                 if not a.uses_global_sync]
+
+
+def check_algorithm(name, machine=GTX280, options=None, scale=None,
+                    seed=99):
+    algo = ALGORITHMS[name]
+    sizes = algo.sizes(scale or algo.test_scale)
+    ck = compile_kernel(algo.source, sizes, algo.domain(sizes), machine,
+                        options)
+    rng = np.random.default_rng(seed)
+    arrays = algo.make_arrays(rng, sizes)
+    work = {k: v.copy() for k, v in arrays.items()}
+    ck.run(work)
+    reference = algo.reference(arrays, sizes)
+    for out, expected in reference.items():
+        np.testing.assert_allclose(work[out], expected, rtol=algo.rtol,
+                                   atol=1e-5, err_msg=f"{name}:{out}")
+    return ck
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("name", NON_REDUCTION)
+    def test_optimized_kernel_matches_reference(self, name):
+        ck = check_algorithm(name)
+        assert ck.config.threads_per_block >= 16
+        assert ck.plan is not None
+
+    @pytest.mark.parametrize("name", ["mm", "mv", "tp", "conv"])
+    def test_on_gtx8800(self, name):
+        check_algorithm(name, machine=GTX8800)
+
+    @pytest.mark.parametrize("name", NON_REDUCTION)
+    def test_every_stage_prefix_is_correct(self, name):
+        """Figure 12's cumulative stages must all stay semantically
+        equivalent to the naive kernel."""
+        algo = ALGORITHMS[name]
+        sizes = algo.sizes(algo.test_scale)
+        rng = np.random.default_rng(5)
+        arrays = algo.make_arrays(rng, sizes)
+        reference = algo.reference(arrays, sizes)
+        stages = compile_stages(algo.source, sizes, algo.domain(sizes),
+                                GTX280)
+        assert set(stages) == {"naive", "+vectorize", "+coalesce",
+                               "+merge", "+prefetch", "+partition"}
+        for stage_name, ck in stages.items():
+            work = {k: v.copy() for k, v in arrays.items()}
+            ck.run(work)
+            for out, expected in reference.items():
+                np.testing.assert_allclose(
+                    work[out], expected, rtol=algo.rtol, atol=1e-5,
+                    err_msg=f"{name} at {stage_name}: {out}")
+
+
+class TestOptionsAndErrors:
+    def test_explicit_merge_factors(self, mm_source):
+        sizes = {"n": 64, "m": 64, "w": 64}
+        ck = compile_kernel(mm_source, sizes, (64, 64), GTX280,
+                            CompileOptions(block_merge_x=2,
+                                           thread_merge_y=4))
+        assert ck.ctx.block == (32, 1)
+        assert ck.ctx.thread_merge == (1, 4)
+
+    def test_target_threads_respected(self, mm_source):
+        sizes = {"n": 2048, "m": 2048, "w": 2048}
+        ck = compile_kernel(mm_source, sizes, (2048, 2048), GTX280,
+                            CompileOptions(target_threads=128))
+        assert ck.config.threads_per_block <= 128
+
+    def test_retry_shrinks_oversized_staging(self, mv_source):
+        # At 2048 with 512-target the column tile would blow shared
+        # memory; the driver must retry with a smaller block.
+        sizes = {"n": 2048, "w": 2048}
+        ck = compile_kernel(mv_source, sizes, (2048, 1), GTX280,
+                            CompileOptions(target_threads=512))
+        assert ck.plan.shared_mem_bytes <= GTX280.shared_mem_per_sm
+
+    def test_global_sync_rejected_by_generic_driver(self):
+        algo = ALGORITHMS["rd"]
+        with pytest.raises(PassError):
+            compile_kernel(algo.source, {"n": 1024}, (1024, 1))
+
+    def test_semantic_error_surfaces(self):
+        bad = "__global__ void f(float a[n], int n) { a[idx] = ghost; }"
+        with pytest.raises(SemanticError):
+            compile_kernel(bad, {"n": 64}, (64, 1))
+
+    def test_naive_kernel_with_shared_rejected(self):
+        bad = """
+        __global__ void f(float a[n], int n) {
+            __shared__ float s[16];
+            s[tidx] = a[idx];
+            a[idx] = s[tidx];
+        }
+        """
+        with pytest.raises(SemanticError):
+            compile_kernel(bad, {"n": 64}, (64, 1))
+
+    def test_uses_global_sync_predicate(self):
+        assert uses_global_sync(parse_kernel(ALGORITHMS["rd"].source))
+        assert not uses_global_sync(parse_kernel(ALGORITHMS["mm"].source))
+
+    def test_compiled_kernel_log_and_source(self, mm_source):
+        sizes = {"n": 64, "m": 64, "w": 64}
+        ck = compile_kernel(mm_source, sizes, (64, 64))
+        assert isinstance(ck, CompiledKernel)
+        assert "__global__ void mm" in ck.source
+        assert any("plan" in line for line in ck.log)
+        assert any("launch" in line for line in ck.log)
+
+    def test_optimized_output_revalidates(self, mm_source):
+        from repro.lang.semantic import check_kernel
+        sizes = {"n": 64, "m": 64, "w": 64}
+        ck = compile_kernel(mm_source, sizes, (64, 64))
+        check_kernel(ck.kernel, mode="optimized")  # no exception
+
+
+class TestVectorizePath:
+    PAIR = """
+    __global__ void mag(float a[n2], float c[n], int n2, int n) {
+        float re = a[2 * idx];
+        float im = a[2 * idx + 1];
+        c[idx] = re * re + im * im;
+    }
+    """
+
+    def test_pair_becomes_float2(self):
+        sizes = {"n2": 128, "n": 64}
+        ck = compile_kernel(self.PAIR, sizes, (64, 1))
+        assert ck.ctx.vectorized
+        assert "float2" in ck.source
+        assert ".x" in ck.source and ".y" in ck.source
+        assert "n2" in ck.ctx.halved_extents
+
+    def test_vectorized_run_adapts_layout(self, rng):
+        sizes = {"n2": 128, "n": 64}
+        ck = compile_kernel(self.PAIR, sizes, (64, 1))
+        data = rng.standard_normal(128).astype(np.float32)
+        c = np.zeros(64, dtype=np.float32)
+        ck.run({"a": data.copy(), "c": c})
+        expected = data[0::2] ** 2 + data[1::2] ** 2
+        np.testing.assert_allclose(c, expected, rtol=1e-5)
+
+    def test_disabled_vectorize_keeps_scalar(self):
+        sizes = {"n2": 128, "n": 64}
+        ck = compile_kernel(self.PAIR, sizes, (64, 1), GTX280,
+                            CompileOptions(enable_vectorize=False))
+        assert not ck.ctx.vectorized
+        assert "float2" not in ck.source

@@ -1,0 +1,103 @@
+"""Integration tests over the per-figure data producers.
+
+These are quick versions of the benchmark assertions: every figure's
+qualitative shape (who wins, rough factors, machine contrasts) must hold
+so the benchmarks cannot silently drift.
+"""
+
+import pytest
+
+from repro.bench import figures as F
+from repro.bench.report import format_table, geomean
+from repro.machine import GTX280, GTX8800
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return F.fig11_speedups(scale=1024)
+
+
+class TestFig11:
+    def test_all_kernels_speed_up_or_hold(self, fig11):
+        for row in fig11:
+            assert row["GTX8800"] >= 0.99
+            assert row["GTX280"] >= 0.99
+
+    def test_average_speedups_large(self, fig11):
+        assert geomean([r["GTX8800"] for r in fig11]) > 4
+        assert geomean([r["GTX280"] for r in fig11]) > 3
+
+    def test_gtx8800_gains_more(self, fig11):
+        g88 = geomean([r["GTX8800"] for r in fig11])
+        g280 = geomean([r["GTX280"] for r in fig11])
+        assert g88 > g280
+
+
+class TestFig12:
+    def test_merge_dominates(self):
+        data = F.fig12_dissection(scale=1024, machines=(GTX280,))
+        stages = data["GTX280"]
+        assert stages["+coalesce"] > 1.5
+        assert stages["+merge"] > stages["+coalesce"]
+        assert abs(stages["+vectorize"] - 1.0) < 0.01
+
+
+class TestFig13:
+    def test_winners_match_paper(self):
+        rows = F.fig13_vs_cublas(scales=(1024,))
+        ratios = {r["algorithm"]: r["ours_gflops"] / r["cublas_gflops"]
+                  for r in rows if r["scale"] == 1024}
+        for name in ("tmv", "mv", "strsm"):
+            assert ratios[name] > 1.5
+        for name in ("mm", "vv"):
+            assert ratios[name] > 0.85
+
+
+class TestFig14:
+    def test_vectorization_wins(self):
+        rows = F.fig14_vectorization(scales=(1 << 20,))
+        r = rows[0]
+        assert r["optimized_gflops"] > 1.3 * r["optimized_wo_vec_gflops"]
+
+
+class TestFig15:
+    def test_diagonal_matters_at_camping_sizes(self):
+        rows = F.fig15_transpose(scales=(4096,))
+        r = rows[0]
+        assert r["sdk_new_gbps"] > 1.5 * r["sdk_prev_gbps"]
+        assert r["optimized_gbps"] >= 0.95 * r["sdk_new_gbps"]
+
+    def test_gtx8800_camping_contrast(self):
+        rows = {r["scale"]: r
+                for r in F.fig15_transpose(scales=(3072, 4096),
+                                           machine=GTX8800)}
+        gain3k = rows[3072]["optimized_gbps"] / rows[3072]["sdk_prev_gbps"]
+        gain4k = rows[4096]["optimized_gbps"] / rows[4096]["sdk_prev_gbps"]
+        assert gain3k > gain4k
+
+
+class TestFig16:
+    def test_ordering(self):
+        rows = F.fig16_mv(scales=(2048,))
+        r = rows[0]
+        assert r["naive_gflops"] < r["cublas_gflops"] \
+            < r["opti_pc_gflops"] < r["optimized_gflops"]
+
+
+class TestFig10:
+    def test_best_in_high_merge_region(self):
+        rows, best = F.fig10_design_space(scale=1024)
+        assert best[0] >= 8 and best[1] >= 8
+        grid = {(r["block_merge"], r["thread_merge"]): r["gflops"]
+                for r in rows}
+        assert grid[(16, 16)] > 2 * grid[(4, 1)]
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 0.001]], "T")
+        assert "T" in text and "2.50" in text and "0.0010" in text
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0

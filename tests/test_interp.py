@@ -1,0 +1,242 @@
+"""Functional interpreter: semantics, barriers, memory, vector types."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse_kernel
+from repro.sim.interp import (BarrierError, Interpreter, KernelRuntimeError,
+                              LaunchConfig, launch)
+from repro.sim.values import Float2, Float4, c_div, c_mod
+
+
+def run(source, config, arrays, scalars=None):
+    launch(parse_kernel(source), config, arrays, scalars)
+
+
+class TestCSemantics:
+    def test_c_div_truncates_toward_zero(self):
+        assert c_div(7, 2) == 3
+        assert c_div(-7, 2) == -3
+        assert c_div(7, -2) == -3
+        assert c_div(-7, -2) == 3
+
+    def test_c_mod_sign_of_dividend(self):
+        assert c_mod(7, 3) == 1
+        assert c_mod(-7, 3) == -1
+
+    def test_c_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            c_div(1, 0)
+
+    @given(st.integers(-100, 100), st.integers(1, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_div_mod_identity(self, a, b):
+        assert c_div(a, b) * b + c_mod(a, b) == a
+
+    def test_integer_division_in_kernel(self):
+        out = np.zeros(4, dtype=np.int32)
+        run("__global__ void f(int c[4]) { c[idx] = (idx * 7) / 2; }",
+            LaunchConfig(grid=(1, 1), block=(4, 1)), {"c": out})
+        assert list(out) == [0, 3, 7, 10]
+
+    def test_comparison_yields_int(self):
+        out = np.zeros(4, dtype=np.int32)
+        run("__global__ void f(int c[4]) { c[idx] = idx < 2; }",
+            LaunchConfig(grid=(1, 1), block=(4, 1)), {"c": out})
+        assert list(out) == [1, 1, 0, 0]
+
+    def test_short_circuit_and(self):
+        # (idx > 0 && 1 / idx > 0): no division by zero for idx == 0.
+        out = np.zeros(4, dtype=np.int32)
+        run("__global__ void f(int c[4]) "
+            "{ c[idx] = idx > 0 && 1 / idx >= 0; }",
+            LaunchConfig(grid=(1, 1), block=(4, 1)), {"c": out})
+        assert list(out) == [0, 1, 1, 1]
+
+
+class TestIds:
+    def test_absolute_and_relative_ids(self):
+        out = np.zeros((2, 8), dtype=np.int32)
+        run("__global__ void f(int c[2][8]) "
+            "{ c[idy][idx] = idx * 100 + tidx * 10 + bidx; }",
+            LaunchConfig(grid=(2, 2), block=(4, 1)), {"c": out})
+        assert out[0][5] == 5 * 100 + 1 * 10 + 1
+        assert out[1][0] == 0
+
+    def test_block_dims_available(self):
+        out = np.zeros(4, dtype=np.int32)
+        run("__global__ void f(int c[4]) "
+            "{ c[idx] = bdimx * 1000 + gdimx * 10 + bdimy; }",
+            LaunchConfig(grid=(2, 1), block=(2, 1)), {"c": out})
+        assert out[0] == 2 * 1000 + 2 * 10 + 1
+
+
+class TestBarriers:
+    EXCHANGE = """
+    __global__ void f(float a[16], int n) {
+        __shared__ float s[16];
+        s[tidx] = a[idx];
+        __syncthreads();
+        a[idx] = s[15 - tidx];
+    }
+    """
+
+    def test_shared_memory_exchange(self):
+        data = np.arange(16, dtype=np.float32)
+        run(self.EXCHANGE, LaunchConfig(grid=(1, 1), block=(16, 1)),
+            {"a": data}, {"n": 16})
+        assert list(data) == list(np.arange(15, -1, -1, dtype=np.float32))
+
+    def test_divergent_barrier_detected(self):
+        src = """
+        __global__ void f(float a[16], int n) {
+            if (tidx < 8)
+                __syncthreads();
+            a[idx] = 0;
+        }
+        """
+        with pytest.raises(BarrierError):
+            run(src, LaunchConfig(grid=(1, 1), block=(16, 1)),
+                {"a": np.zeros(16, np.float32)}, {"n": 16})
+
+    def test_global_sync_exchanges_across_blocks(self):
+        src = """
+        __global__ void f(float a[n], float b[n], int n) {
+            b[idx] = a[idx] * 2.0f;
+            __global_sync();
+            a[idx] = b[n - 1 - idx];
+        }
+        """
+        a = np.arange(32, dtype=np.float32)
+        b = np.zeros(32, dtype=np.float32)
+        run(src, LaunchConfig(grid=(2, 1), block=(16, 1)),
+            {"a": a, "b": b}, {"n": 32})
+        assert list(a) == list(np.arange(31, -1, -1, dtype=np.float32) * 2)
+
+    def test_runaway_loop_detected(self):
+        src = """
+        __global__ void f(float a[4], int n) {
+            for (int i = 0; i >= 0; i++)
+                a[0] = i;
+        }
+        """
+        interp = Interpreter(parse_kernel(src), max_steps=10_000)
+        with pytest.raises(KernelRuntimeError):
+            interp.run(LaunchConfig(grid=(1, 1), block=(1, 1)),
+                       {"a": np.zeros(4, np.float32)}, {"n": 4})
+
+
+class TestMemorySafety:
+    def test_out_of_bounds_read_raises(self):
+        src = "__global__ void f(float a[4]) { a[0] = a[idx + 4]; }"
+        with pytest.raises(IndexError):
+            run(src, LaunchConfig(grid=(1, 1), block=(1, 1)),
+                {"a": np.zeros(4, np.float32)})
+
+    def test_negative_index_raises(self):
+        src = "__global__ void f(float a[4]) { a[idx - 1] = 0; }"
+        with pytest.raises(IndexError):
+            run(src, LaunchConfig(grid=(1, 1), block=(1, 1)),
+                {"a": np.zeros(4, np.float32)})
+
+    def test_missing_array_argument(self):
+        src = "__global__ void f(float a[4]) { a[idx] = 0; }"
+        with pytest.raises(KeyError):
+            run(src, LaunchConfig(grid=(1, 1), block=(1, 1)), {})
+
+    def test_undefined_variable(self):
+        src = "__global__ void f(float a[4]) { a[idx] = ghost; }"
+        with pytest.raises(KernelRuntimeError):
+            run(src, LaunchConfig(grid=(1, 1), block=(1, 1)),
+                {"a": np.zeros(4, np.float32)})
+
+
+class TestVectorTypes:
+    def test_float2_roundtrip(self):
+        src = """
+        __global__ void f(float2 a[4], float c[4]) {
+            float2 v = a[idx];
+            c[idx] = v.x + v.y;
+        }
+        """
+        a = np.arange(8, dtype=np.float32).reshape(4, 2)
+        c = np.zeros(4, dtype=np.float32)
+        run(src, LaunchConfig(grid=(1, 1), block=(4, 1)), {"a": a, "c": c})
+        assert list(c) == [1.0, 5.0, 9.0, 13.0]
+
+    def test_make_float2(self):
+        src = """
+        __global__ void f(float2 a[4]) {
+            a[idx] = make_float2(float(idx), float(idx) * 2.0f);
+        }
+        """
+        a = np.zeros((4, 2), dtype=np.float32)
+        run(src, LaunchConfig(grid=(1, 1), block=(4, 1)), {"a": a})
+        assert a[3][0] == 3.0 and a[3][1] == 6.0
+
+    def test_member_store_on_vector_array(self):
+        src = "__global__ void f(float2 a[4]) { a[idx].y = 7.0f; }"
+        a = np.zeros((4, 2), dtype=np.float32)
+        run(src, LaunchConfig(grid=(1, 1), block=(4, 1)), {"a": a})
+        assert list(a[:, 1]) == [7.0] * 4
+
+    def test_float4_members(self):
+        v = Float4(1, 2, 3, 4)
+        assert (v.x, v.y, v.z, v.w) == (1, 2, 3, 4)
+        assert Float2.MEMBERS == ("x", "y")
+
+
+class TestLocalArrays:
+    def test_per_thread_local_array(self):
+        src = """
+        __global__ void f(float c[8]) {
+            float buf[4];
+            for (int i = 0; i < 4; i++)
+                buf[i] = float(idx * 10 + i);
+            c[idx] = buf[3];
+        }
+        """
+        c = np.zeros(8, dtype=np.float32)
+        run(src, LaunchConfig(grid=(1, 1), block=(8, 1)), {"c": c})
+        assert list(c) == [3.0, 13.0, 23.0, 33.0, 43.0, 53.0, 63.0, 73.0]
+
+
+class TestBuiltins:
+    def test_math_builtins(self):
+        src = """
+        __global__ void f(float c[4]) {
+            c[0] = fmaxf(1.0f, 2.0f);
+            c[1] = fabsf(0.0f - 3.0f);
+            c[2] = sqrtf(16.0f);
+            c[3] = fminf(1.0f, 2.0f);
+        }
+        """
+        c = np.zeros(4, dtype=np.float32)
+        run(src, LaunchConfig(grid=(1, 1), block=(1, 1)), {"c": c})
+        assert list(c) == [2.0, 3.0, 4.0, 1.0]
+
+    def test_unknown_function_raises(self):
+        src = "__global__ void f(float c[4]) { c[idx] = mystery(1.0f); }"
+        with pytest.raises(KernelRuntimeError):
+            run(src, LaunchConfig(grid=(1, 1), block=(1, 1)),
+                {"c": np.zeros(4, np.float32)})
+
+
+class TestTrace:
+    def test_trace_hook_sees_global_accesses(self):
+        events = []
+
+        def hook(array, addr, is_store, block, thread, site):
+            events.append((array, addr, is_store))
+
+        src = "__global__ void f(float a[8], float c[8]) " \
+              "{ c[idx] = a[idx]; }"
+        launch(parse_kernel(src), LaunchConfig(grid=(1, 1), block=(8, 1)),
+               {"a": np.zeros(8, np.float32),
+                "c": np.zeros(8, np.float32)}, trace=hook)
+        loads = [e for e in events if not e[2]]
+        stores = [e for e in events if e[2]]
+        assert len(loads) == 8 and len(stores) == 8
+        assert {e[0] for e in loads} == {"a"}

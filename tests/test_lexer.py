@@ -1,0 +1,143 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, Lexer, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.INT_LIT
+        assert toks[0].text == "42"
+
+    def test_float_literal_with_dot(self):
+        assert tokenize("3.25")[0].kind is TokenKind.FLOAT_LIT
+
+    def test_float_literal_with_f_suffix(self):
+        toks = tokenize("2.0f")
+        assert toks[0].kind is TokenKind.FLOAT_LIT
+        assert toks[0].text == "2.0"
+
+    def test_integer_with_f_suffix_is_float(self):
+        assert tokenize("0f")[0].kind is TokenKind.FLOAT_LIT
+
+    def test_float_with_exponent(self):
+        toks = tokenize("1e-3 2.5E+2")
+        assert toks[0].kind is TokenKind.FLOAT_LIT
+        assert toks[1].kind is TokenKind.FLOAT_LIT
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].kind is TokenKind.FLOAT_LIT
+
+    def test_identifier(self):
+        toks = tokenize("alpha_1")
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].text == "alpha_1"
+
+    def test_keywords(self):
+        assert kinds("__global__ void int float for if else return") == [
+            TokenKind.KW_GLOBAL, TokenKind.KW_VOID, TokenKind.KW_INT,
+            TokenKind.KW_FLOAT, TokenKind.KW_FOR, TokenKind.KW_IF,
+            TokenKind.KW_ELSE, TokenKind.KW_RETURN]
+
+    def test_vector_type_keywords(self):
+        assert kinds("float2 float4") == [TokenKind.KW_FLOAT2,
+                                          TokenKind.KW_FLOAT4]
+
+    def test_shared_keyword(self):
+        assert kinds("__shared__") == [TokenKind.KW_SHARED]
+
+
+class TestOperators:
+    def test_compound_assignment_operators(self):
+        assert kinds("+= -= *= /=") == [
+            TokenKind.PLUS_ASSIGN, TokenKind.MINUS_ASSIGN,
+            TokenKind.STAR_ASSIGN, TokenKind.SLASH_ASSIGN]
+
+    def test_comparison_operators(self):
+        assert kinds("< <= > >= == !=") == [
+            TokenKind.LT, TokenKind.LE, TokenKind.GT, TokenKind.GE,
+            TokenKind.EQ, TokenKind.NE]
+
+    def test_increment_lexes_greedily(self):
+        assert kinds("i++") == [TokenKind.IDENT, TokenKind.PLUS_PLUS]
+
+    def test_shift_operators(self):
+        assert kinds("<< >>") == [TokenKind.SHL, TokenKind.SHR]
+
+    def test_logical_operators(self):
+        assert kinds("&& || !") == [TokenKind.AND_AND, TokenKind.OR_OR,
+                                    TokenKind.NOT]
+
+    def test_punctuation(self):
+        assert kinds("( ) { } [ ] , ; . ? :") == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.LBRACE,
+            TokenKind.RBRACE, TokenKind.LBRACKET, TokenKind.RBRACKET,
+            TokenKind.COMMA, TokenKind.SEMI, TokenKind.DOT,
+            TokenKind.QUESTION, TokenKind.COLON]
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment with = tokens\nb") == [
+            TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x */ b") == ["a", "b"]
+
+    def test_multiline_block_comment(self):
+        assert texts("a /* line1\nline2 */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_pragma_line_is_single_token(self):
+        toks = tokenize("#pragma output c\nint")
+        assert toks[0].kind is TokenKind.PRAGMA
+        assert toks[0].text == "#pragma output c"
+        assert toks[1].kind is TokenKind.KW_INT
+
+    def test_non_pragma_hash_raises(self):
+        with pytest.raises(LexError):
+            tokenize("#include <x>")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a @ b")
+        assert exc.value.line == 1
+        assert exc.value.col == 3
+
+
+class TestRealKernels:
+    def test_mm_kernel_lexes(self, mm_source):
+        toks = tokenize(mm_source)
+        assert toks[-1].kind is TokenKind.EOF
+        assert any(t.text == "idy" for t in toks)
+
+    def test_token_stream_is_reconstructible(self, mv_source):
+        # Every non-EOF token keeps its exact source spelling.
+        for t in tokenize(mv_source)[:-1]:
+            assert t.text

@@ -1,0 +1,98 @@
+"""Memory objects: bounds, lanes, linear addresses, member access."""
+
+import numpy as np
+import pytest
+
+from repro.sim.memory import GlobalMemory, SharedMemory
+
+
+class TestAllocation:
+    def test_allocate_scalar_array(self):
+        mem = SharedMemory()
+        mem.allocate("s", [16, 17], "float")
+        assert mem.dims("s") == (16, 17)
+        assert mem.lanes("s") == 1
+
+    def test_allocate_vector_array(self):
+        mem = GlobalMemory()
+        mem.allocate("v", [8], "float2")
+        assert mem.array("v").shape == (8, 2)
+        assert mem.lanes("v") == 2
+
+    def test_allocate_int_array(self):
+        mem = SharedMemory()
+        mem.allocate("i", [4], "int")
+        assert mem.array("i").dtype == np.int32
+
+    def test_bind_existing(self):
+        mem = GlobalMemory()
+        arr = np.ones((4, 4), dtype=np.float32)
+        mem.bind("a", arr)
+        assert mem.has("a")
+        assert mem.load("a", (1, 1)) == 1.0
+
+
+class TestAccess:
+    def test_load_store_roundtrip(self):
+        mem = GlobalMemory()
+        mem.allocate("a", [4, 4], "float")
+        mem.store("a", (2, 3), 7.5)
+        assert mem.load("a", (2, 3)) == 7.5
+
+    def test_load_returns_python_scalars(self):
+        mem = GlobalMemory()
+        mem.allocate("a", [2], "float")
+        assert isinstance(mem.load("a", (0,)), float)
+        mem.allocate("i", [2], "int")
+        assert isinstance(mem.load("i", (0,)), int)
+
+    def test_vector_load_store(self):
+        from repro.sim.values import Float2
+        mem = GlobalMemory()
+        mem.allocate("v", [4], "float2")
+        mem.store("v", (1,), Float2(3.0, 4.0))
+        v = mem.load("v", (1,))
+        assert (v.x, v.y) == (3.0, 4.0)
+
+    def test_member_store(self):
+        mem = GlobalMemory()
+        mem.allocate("v", [4], "float2")
+        mem.store_member("v", (2,), "y", 9.0)
+        assert mem.load_member("v", (2,), "y") == 9.0
+        assert mem.load_member("v", (2,), "x") == 0.0
+
+    def test_wrong_value_type_rejected(self):
+        mem = GlobalMemory()
+        mem.allocate("v", [4], "float2")
+        with pytest.raises(TypeError):
+            mem.store("v", (0,), 1.0)
+
+
+class TestBounds:
+    def test_out_of_range_raises_with_context(self):
+        mem = GlobalMemory()
+        mem.allocate("a", [4, 8], "float")
+        with pytest.raises(IndexError, match="dimension 1"):
+            mem.load("a", (0, 8))
+        with pytest.raises(IndexError, match="dimension 0"):
+            mem.load("a", (-1, 0))
+
+    def test_rank_mismatch(self):
+        mem = GlobalMemory()
+        mem.allocate("a", [4, 8], "float")
+        with pytest.raises(IndexError, match="rank"):
+            mem.load("a", (1,))
+
+
+class TestLinearAddress:
+    def test_row_major(self):
+        mem = GlobalMemory()
+        mem.allocate("a", [4, 8], "float")
+        assert mem.linear_address("a", (0, 0)) == 0
+        assert mem.linear_address("a", (1, 0)) == 8
+        assert mem.linear_address("a", (2, 5)) == 21
+
+    def test_1d(self):
+        mem = GlobalMemory()
+        mem.allocate("a", [64], "float")
+        assert mem.linear_address("a", (17,)) == 17

@@ -1,0 +1,207 @@
+"""Thread merge (Section 3.5.2): taint analysis and replication."""
+
+import numpy as np
+import pytest
+
+from repro.lang.parser import parse_kernel
+from repro.lang.printer import print_kernel
+from repro.passes.base import CompilationContext, PassError
+from repro.passes.coalesce_transform import CoalesceTransformPass
+from repro.passes.merge import ThreadMergePass, compute_taint
+from repro.passes.sharing import plan_merges
+from repro.machine import GTX280
+from repro.sim.interp import LaunchConfig, launch
+
+SIZES = {"n": 64, "m": 64, "w": 64}
+
+
+def merged_mm(mm_source, block=(16, 1), factor=4):
+    kernel = parse_kernel(mm_source)
+    ctx = CompilationContext(kernel=kernel, sizes=dict(SIZES),
+                             domain=(64, 64))
+    CoalesceTransformPass(block=block).run(ctx)
+    ThreadMergePass("y", factor).run(ctx)
+    return kernel, ctx
+
+
+class TestTaint:
+    def test_idy_seed_taints_accumulator(self, mm_source):
+        kernel = parse_kernel(mm_source)
+        tainted = compute_taint(kernel.body, "idy",
+                                exclude=frozenset(["a", "b", "c", "n",
+                                                   "m", "w"]))
+        assert "sum" in tainted
+
+    def test_loop_iterator_untainted(self, mm_source):
+        kernel = parse_kernel(mm_source)
+        tainted = compute_taint(kernel.body, "idy",
+                                exclude=frozenset(["a", "b", "c"]))
+        assert "i" not in tainted
+
+    def test_globals_never_tainted(self, mm_source):
+        kernel = parse_kernel(mm_source)
+        tainted = compute_taint(kernel.body, "idy",
+                                exclude=frozenset(["a", "b", "c"]))
+        assert not tainted & {"a", "b", "c"}
+
+    def test_control_dependence(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            float v = 0;
+            if (idy > 0)
+                v = 1;
+            a[idx] = v;
+        }
+        """
+        kernel = parse_kernel(src)
+        tainted = compute_taint(kernel.body, "idy",
+                                exclude=frozenset(["a"]))
+        assert "v" in tainted
+
+    def test_transitive_taint(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            int row = idy * 2;
+            int row2 = row + 1;
+            a[row2] = 0;
+        }
+        """
+        kernel = parse_kernel(src)
+        tainted = compute_taint(kernel.body, "idy",
+                                exclude=frozenset(["a"]))
+        assert tainted >= {"row", "row2"}
+
+
+class TestReplicationStructure:
+    def test_figure7_shape(self, mm_source):
+        kernel, ctx = merged_mm(mm_source, factor=4)
+        text = print_kernel(kernel)
+        # Replicated accumulators and shared tiles...
+        for j in range(4):
+            assert f"sum_{j}" in text
+            assert f"shared0_{j}" in text
+        # ...but the G2R load is hoisted into a single register temp.
+        assert "float r0 = b[i + k][idx]" in text
+        assert text.count("b[i + k][idx]") == 1
+        # Output rows follow the blocked mapping idy*N + j.
+        assert "c[idy * 4][idx]" in text.replace("4 * idy", "idy * 4") or \
+            "4 * idy" in text
+
+    def test_sync_not_replicated(self, mm_source):
+        kernel, ctx = merged_mm(mm_source, factor=4)
+        text = print_kernel(kernel)
+        # one outer-loop pair of barriers, not four.
+        assert text.count("__syncthreads()") == 2
+
+    def test_thread_merge_updates_context(self, mm_source):
+        _, ctx = merged_mm(mm_source, factor=8)
+        assert ctx.thread_merge == (1, 8)
+        assert ctx.grid == (4, 8)  # 64 cols / 16-wide blocks, 64 rows / 8
+
+    def test_register_estimate_grows(self, mm_source):
+        _, ctx4 = merged_mm(mm_source, factor=4)
+        _, ctx16 = merged_mm(mm_source, factor=16)
+        assert ctx16.est_registers > ctx4.est_registers
+
+
+class TestReplicationSemantics:
+    @pytest.mark.parametrize("factor", [2, 4, 16])
+    def test_mm_y_merge_preserves_product(self, mm_source, rng, factor):
+        kernel, ctx = merged_mm(mm_source, factor=factor)
+        a = rng.random((64, 64), dtype=np.float32)
+        b = rng.random((64, 64), dtype=np.float32)
+        arrays = {"a": a, "b": b, "c": np.zeros((64, 64), np.float32)}
+        launch(kernel, LaunchConfig(grid=ctx.grid, block=ctx.block),
+               arrays, SIZES)
+        np.testing.assert_allclose(arrays["c"], a @ b, rtol=1e-4)
+
+    def test_x_merge_interleaved_mapping(self, rng):
+        src = """
+        __global__ void scale(float a[n], float c[n], int n) {
+            c[idx] = a[idx] * 3.0f;
+        }
+        """
+        kernel = parse_kernel(src)
+        ctx = CompilationContext(kernel=kernel, sizes={"n": 128},
+                                 domain=(128, 1))
+        CoalesceTransformPass().run(ctx)
+        ThreadMergePass("x", 4).run(ctx)
+        text = print_kernel(kernel)
+        assert "idx + 32" in text           # grid-stride copies
+        a = rng.random(128, dtype=np.float32)
+        arrays = {"a": a, "c": np.zeros(128, np.float32)}
+        launch(kernel, LaunchConfig(grid=ctx.grid, block=ctx.block),
+               arrays, {"n": 128})
+        np.testing.assert_allclose(arrays["c"], a * 3.0, rtol=1e-6)
+
+    def test_tainted_branch_replicated(self, rng):
+        src = """
+        __global__ void f(float a[n][m], float c[n][m], int n, int m) {
+            int p = idy % 2;
+            if (p == 0)
+                c[idy][idx] = a[idy][idx];
+            else
+                c[idy][idx] = 0.0f - a[idy][idx];
+        }
+        """
+        kernel = parse_kernel(src)
+        ctx = CompilationContext(kernel=kernel, sizes={"n": 32, "m": 32},
+                                 domain=(32, 32))
+        CoalesceTransformPass().run(ctx)
+        ThreadMergePass("y", 2).run(ctx)
+        a = rng.random((32, 32), dtype=np.float32)
+        arrays = {"a": a, "c": np.zeros((32, 32), np.float32)}
+        launch(kernel, LaunchConfig(grid=ctx.grid, block=ctx.block),
+               arrays, {"n": 32, "m": 32})
+        signs = np.where(np.arange(32)[:, None] % 2 == 0, 1.0, -1.0)
+        np.testing.assert_allclose(arrays["c"], a * signs, rtol=1e-6)
+
+
+class TestMergeErrors:
+    def test_bad_direction(self):
+        with pytest.raises(PassError):
+            ThreadMergePass("z", 2)
+
+    def test_factor_must_be_at_least_two(self):
+        with pytest.raises(PassError):
+            ThreadMergePass("y", 1)
+
+    def test_indivisible_domain_rejected(self, mm_source):
+        kernel = parse_kernel(mm_source)
+        ctx = CompilationContext(kernel=kernel, sizes=dict(SIZES),
+                                 domain=(64, 60))
+        CoalesceTransformPass().run(ctx)
+        with pytest.raises(PassError):
+            ThreadMergePass("y", 8).run(ctx)
+
+    def test_y_merge_blocked_by_tidy_relative_staging(self, tp_source):
+        kernel = parse_kernel(tp_source)
+        ctx = CompilationContext(kernel=kernel, sizes=dict(SIZES),
+                                 domain=(64, 64))
+        CoalesceTransformPass().run(ctx)
+        with pytest.raises(PassError):
+            ThreadMergePass("y", 2).run(ctx)
+
+
+class TestPlanner:
+    def test_mm_plan_matches_paper(self, mm_source):
+        plan = plan_merges(parse_kernel(mm_source), SIZES, (64, 64),
+                           GTX280)
+        assert plan.block_merge_x      # G2S sharing of a along X
+        assert plan.thread_merge_y     # G2R sharing of b along Y
+        assert not plan.transpose_tile
+
+    def test_tp_plan_pins_tile(self, tp_source):
+        plan = plan_merges(parse_kernel(tp_source), SIZES, (64, 64),
+                           GTX280)
+        assert plan.transpose_tile
+
+    def test_elementwise_merges_for_threads_only(self):
+        src = """
+        __global__ void f(float a[n], float c[n], int n) {
+            c[idx] = a[idx];
+        }
+        """
+        plan = plan_merges(parse_kernel(src), {"n": 512}, (512, 1), GTX280)
+        assert plan.block_for_threads
+        assert not plan.thread_merge_y

@@ -1,0 +1,215 @@
+"""Parser unit tests: expressions, statements, kernels, and errors."""
+
+import pytest
+
+from repro.lang.astnodes import (
+    ArrayRef,
+    AssignStmt,
+    Binary,
+    Block,
+    Call,
+    DeclStmt,
+    ExprStmt,
+    FloatLit,
+    ForStmt,
+    Ident,
+    IfStmt,
+    IntLit,
+    Member,
+    SyncStmt,
+    Ternary,
+    Unary,
+    WhileStmt,
+)
+from repro.lang.parser import ParseError, parse_kernel
+from repro.lang.types import FLOAT, FLOAT2, INT
+
+
+def parse_body(body: str, params="float a[n], int n"):
+    return parse_kernel(
+        f"__global__ void k({params}) {{ {body} }}").body
+
+
+def parse_expr(expr: str):
+    stmt = parse_body(f"int q = {expr};")[0]
+    return stmt.init
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, Binary) and e.op == "+"
+        assert isinstance(e.right, Binary) and e.right.op == "*"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert isinstance(e.left, Binary) and e.left.op == "+"
+
+    def test_left_associativity_of_subtraction(self):
+        e = parse_expr("10 - 4 - 3")
+        assert e.op == "-"
+        assert isinstance(e.left, Binary) and e.left.op == "-"
+        assert isinstance(e.right, IntLit) and e.right.value == 3
+
+    def test_relational_below_additive(self):
+        e = parse_expr("idx + 1 < n")
+        assert e.op == "<"
+        assert isinstance(e.left, Binary) and e.left.op == "+"
+
+    def test_logical_and_below_equality(self):
+        e = parse_expr("idx == 0 && idy == 0")
+        assert e.op == "&&"
+
+    def test_unary_minus(self):
+        e = parse_expr("-idx")
+        assert isinstance(e, Unary) and e.op == "-"
+
+    def test_ternary(self):
+        e = parse_expr("idx < n ? 1 : 0")
+        assert isinstance(e, Ternary)
+        assert isinstance(e.cond, Binary)
+
+    def test_multi_dim_array_ref(self):
+        e = parse_expr("a[idx]")
+        assert isinstance(e, ArrayRef)
+        assert len(e.indices) == 1
+
+    def test_call_with_args(self):
+        e = parse_expr("max(idx, 0)")
+        assert isinstance(e, Call) and e.name == "max"
+        assert len(e.args) == 2
+
+    def test_member_access(self):
+        body = parse_body("float2 f = b[idx]; float x = f.x;",
+                          params="float2 b[n], int n")
+        member = body[1].init
+        assert isinstance(member, Member) and member.member == "x"
+
+    def test_cast_syntax(self):
+        e = parse_expr("int(1.5)")
+        assert isinstance(e, Call) and e.name == "int"
+
+    def test_modulo_and_division(self):
+        e = parse_expr("idx % 16 + idx / 16")
+        assert e.op == "+"
+        assert e.left.op == "%" and e.right.op == "/"
+
+    def test_bad_member_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("float2 f = b[0]; float v = f.q;",
+                       params="float2 b[n], int n")
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        stmt = parse_body("float sum = 0;")[0]
+        assert isinstance(stmt, DeclStmt)
+        assert stmt.type == FLOAT and stmt.name == "sum"
+
+    def test_shared_array_declaration(self):
+        stmt = parse_body("__shared__ float s[16][17];")[0]
+        assert stmt.shared and stmt.dims == [16, 17]
+
+    def test_array_decl_with_initializer_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("float s[16] = 0;")
+
+    def test_compound_assignment(self):
+        stmt = parse_body("float s = 0; s += 1;")[1]
+        assert isinstance(stmt, AssignStmt) and stmt.op == "+="
+
+    def test_increment_desugars(self):
+        stmt = parse_body("int i = 0; i++;")[1]
+        assert isinstance(stmt, AssignStmt) and stmt.op == "="
+        assert isinstance(stmt.value, Binary) and stmt.value.op == "+"
+
+    def test_for_loop_with_decl_init(self):
+        stmt = parse_body("for (int i = 0; i < n; i++) { }")[0]
+        assert isinstance(stmt, ForStmt)
+        assert stmt.iter_name() == "i"
+
+    def test_for_loop_unbraced_body(self):
+        stmt = parse_body("float s = 0; for (int i = 0; i < n; i++) s += 1;")[1]
+        assert isinstance(stmt, ForStmt)
+        assert len(stmt.body) == 1
+
+    def test_while_loop(self):
+        stmt = parse_body("int i = 8; while (i > 0) i = i / 2;")[1]
+        assert isinstance(stmt, WhileStmt)
+
+    def test_if_else(self):
+        stmt = parse_body("if (idx < n) { } else { int q = 0; }")[0]
+        assert isinstance(stmt, IfStmt)
+        assert len(stmt.else_body) == 1
+
+    def test_syncthreads(self):
+        stmt = parse_body("__syncthreads();")[0]
+        assert isinstance(stmt, SyncStmt) and stmt.scope == "block"
+
+    def test_global_sync(self):
+        stmt = parse_body("__global_sync();")[0]
+        assert isinstance(stmt, SyncStmt) and stmt.scope == "global"
+
+    def test_nested_blocks(self):
+        stmt = parse_body("{ int q = 1; }")[0]
+        assert isinstance(stmt, Block)
+
+    def test_assignment_to_non_lvalue_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("1 + 2 = 3;")
+
+
+class TestKernelStructure:
+    def test_kernel_name_and_params(self, mm_source):
+        k = parse_kernel(mm_source)
+        assert k.name == "mm"
+        assert [p.name for p in k.params] == ["a", "b", "c", "n", "m", "w"]
+
+    def test_array_param_dims(self, mm_source):
+        k = parse_kernel(mm_source)
+        assert k.param("a").dims == ["n", "w"]
+        assert not k.param("n").is_array
+
+    def test_float2_param(self):
+        k = parse_kernel(
+            "__global__ void f(float2 a[n], int n) { float2 v = a[idx]; }")
+        assert k.param("a").type == FLOAT2
+
+    def test_pragmas_attached(self):
+        k = parse_kernel("#pragma output c\n#pragma size n 1024\n"
+                         "__global__ void f(float c[n], int n) "
+                         "{ c[idx] = 0; }")
+        assert len(k.pragmas) == 2
+        assert k.output_names() == ["c"]
+
+    def test_missing_global_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel("void f() { }")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel("__global__ void f(int n) { } extra")
+
+    def test_pointer_spelling_accepted(self):
+        k = parse_kernel("__global__ void f(float* a, int n) { int q = n; }")
+        assert not k.param("a").is_array  # no bracket dims given
+
+    def test_scalar_params_listed(self, mm_source):
+        k = parse_kernel(mm_source)
+        assert [p.name for p in k.scalar_params()] == ["n", "m", "w"]
+        assert [p.name for p in k.array_params()] == ["a", "b", "c"]
+
+
+class TestAstUtilities:
+    def test_clone_is_deep(self, mm_source):
+        k = parse_kernel(mm_source)
+        k2 = k.clone()
+        assert k == k2
+        k2.body[0].name = "renamed"
+        assert k != k2
+
+    def test_equality_structural(self):
+        a = parse_kernel("__global__ void f(int n) { int q = n + 1; }")
+        b = parse_kernel("__global__ void f(int n) { int q = n + 1; }")
+        assert a == b

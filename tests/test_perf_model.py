@@ -1,0 +1,186 @@
+"""The analytic performance model: occupancy, transactions, estimates."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_kernel
+from repro.ir.access import collect_accesses
+from repro.lang.parser import parse_kernel
+from repro.machine import GTX280, GTX8800
+from repro.sim.interp import LaunchConfig
+from repro.sim.occupancy import compute_occupancy, estimate_registers
+from repro.sim.perf import estimate, estimate_compiled
+from repro.sim.timing import (analyze_kernel, guard_fraction,
+                              partition_imbalance,
+                              transactions_for_access)
+
+
+class TestOccupancy:
+    def test_thread_context_limit(self):
+        occ = compute_occupancy(GTX280, LaunchConfig((100, 100), (256, 1)),
+                                shared_bytes=0, registers_per_thread=10)
+        assert occ.blocks_per_sm == 4        # 1024 threads / 256
+        assert occ.threads_per_sm == 1024
+
+    def test_shared_memory_limit(self):
+        occ = compute_occupancy(GTX280, LaunchConfig((100, 100), (64, 1)),
+                                shared_bytes=8192, registers_per_thread=8)
+        assert occ.blocks_per_sm == 2
+        assert "shared" in occ.limiter
+
+    def test_register_limit(self):
+        occ = compute_occupancy(GTX280, LaunchConfig((100, 100), (256, 1)),
+                                shared_bytes=0, registers_per_thread=32)
+        assert occ.blocks_per_sm == 2
+        assert "register" in occ.limiter
+
+    def test_spill_clamps_to_one_block(self):
+        occ = compute_occupancy(GTX280, LaunchConfig((100, 100), (512, 1)),
+                                shared_bytes=0, registers_per_thread=64)
+        assert occ.blocks_per_sm == 1
+        assert "spill" in occ.limiter
+
+    def test_small_grid_limits_residency(self):
+        # 30 blocks over 30 SMs: one each, regardless of other limits.
+        occ = compute_occupancy(GTX280, LaunchConfig((30, 1), (64, 1)),
+                                shared_bytes=0, registers_per_thread=8)
+        assert occ.blocks_per_sm == 1
+        assert occ.limiter == "grid size"
+
+    def test_register_estimate_counts_decls(self, mm_source):
+        k = parse_kernel(mm_source)
+        base = estimate_registers(k)
+        assert 6 <= base <= 16
+
+
+class TestTransactions:
+    def _access(self, source, array, sizes):
+        accs = collect_accesses(parse_kernel(source), sizes)
+        return next(a for a in accs if a.array == array and a.is_load)
+
+    def test_coalesced_one_transaction(self, mm_source):
+        acc = self._access(mm_source, "b", {"n": 64, "m": 64, "w": 64})
+        cfg = LaunchConfig((4, 64), (16, 1))
+        trans, byts = transactions_for_access(acc, GTX280, cfg)
+        assert trans == 1 and byts == 64.0
+
+    def test_strict_serializes_noncoalesced(self, mv_source):
+        acc = self._access(mv_source, "a", {"n": 64, "w": 64})
+        cfg = LaunchConfig((4, 1), (16, 1))
+        trans, byts = transactions_for_access(acc, GTX8800, cfg)
+        assert trans == 16 and byts == 16 * 32.0
+
+    def test_relaxed_counts_segments(self):
+        src = """
+        __global__ void f(float a[n], float c[n], int n) {
+            c[idx] = a[idx + 1];
+        }
+        """
+        acc = self._access(src, "a", {"n": 64})
+        cfg = LaunchConfig((4, 1), (16, 1))
+        trans_relaxed, _ = transactions_for_access(acc, GTX280, cfg)
+        trans_strict, _ = transactions_for_access(acc, GTX8800, cfg)
+        assert trans_relaxed == 2      # misaligned: two segments
+        assert trans_strict == 16      # G80: fully serialized
+
+    def test_broadcast_cheap_on_relaxed(self, mm_source):
+        acc = self._access(mm_source, "a", {"n": 64, "m": 64, "w": 64})
+        cfg = LaunchConfig((4, 64), (16, 1))
+        trans, _ = transactions_for_access(acc, GTX280, cfg)
+        assert trans == 1
+
+
+class TestPartitionImbalance:
+    def test_row_walks_camp(self, mv_source):
+        sizes = {"n": 2048, "w": 2048}
+        acc = next(a for a in collect_accesses(parse_kernel(mv_source),
+                                               sizes)
+                   if a.array == "a")
+        cfg = LaunchConfig((128, 1), (16, 1))
+        imb = partition_imbalance(acc, GTX280, cfg)
+        assert imb > 3.0
+
+    def test_block_row_walk_spreads(self, mm_source):
+        sizes = {"n": 2048, "m": 2048, "w": 2048}
+        acc = next(a for a in collect_accesses(parse_kernel(mm_source),
+                                               sizes)
+                   if a.array == "b")
+        cfg = LaunchConfig((8, 8), (256, 1))
+        imb = partition_imbalance(acc, GTX280, cfg)
+        assert imb < 1.5
+
+
+class TestGuardFractions:
+    def _cond(self, text):
+        src = f"__global__ void f(float a[4]) {{ if ({text}) a[0] = 0; }}"
+        return parse_kernel(src).body[0].cond
+
+    def test_tidx_guard(self):
+        cfg = LaunchConfig((1, 1), (64, 1))
+        assert guard_fraction(self._cond("tidx < 16"), cfg) == 0.25
+
+    def test_equality_guess(self):
+        cfg = LaunchConfig((1, 1), (64, 1))
+        assert guard_fraction(self._cond("tidx == 0"), cfg) == 0.5
+
+    def test_conjunction_multiplies(self):
+        cfg = LaunchConfig((1, 1), (64, 1))
+        assert guard_fraction(self._cond("tidx < 32 && tidx == 0"),
+                              cfg) == 0.25
+
+    def test_unknown_defaults_to_one(self):
+        cfg = LaunchConfig((1, 1), (64, 1))
+        assert guard_fraction(self._cond("idx < 100"), cfg) == 1.0
+
+
+class TestEstimates:
+    def test_time_positive_and_bounded(self, mm_source):
+        ck = compile_kernel(mm_source, {"n": 256, "m": 256, "w": 256},
+                            (256, 256))
+        est = estimate_compiled(ck)
+        assert 0 < est.time_s < 1.0
+        assert est.bound_by in ("compute", "bandwidth", "latency")
+
+    def test_optimized_beats_naive_for_every_suite_kernel(self):
+        from repro.kernels.suite import ALGORITHMS
+        naive_opts = CompileOptions(
+            enable_vectorize=False, enable_coalesce=False,
+            enable_merge=False, enable_prefetch=False,
+            enable_partition=False)
+        for name, algo in ALGORITHMS.items():
+            if algo.uses_global_sync:
+                continue
+            sizes = algo.sizes(1024)
+            dom = algo.domain(sizes)
+            t_naive = estimate_compiled(
+                compile_kernel(algo.source, sizes, dom, GTX280,
+                               naive_opts)).time_s
+            t_opt = estimate_compiled(
+                compile_kernel(algo.source, sizes, dom, GTX280)).time_s
+            assert t_opt <= t_naive * 1.01, f"{name} regressed"
+
+    def test_bigger_problem_takes_longer(self, mm_source):
+        times = []
+        for scale in (256, 512, 1024):
+            ck = compile_kernel(mm_source,
+                                {"n": scale, "m": scale, "w": scale},
+                                (scale, scale))
+            times.append(estimate_compiled(ck).time_s)
+        assert times[0] < times[1] < times[2]
+
+    def test_gtx280_faster_than_gtx8800(self, mm_source):
+        sizes = {"n": 1024, "m": 1024, "w": 1024}
+        t88 = estimate_compiled(
+            compile_kernel(mm_source, sizes, (1024, 1024),
+                           GTX8800)).time_s
+        t280 = estimate_compiled(
+            compile_kernel(mm_source, sizes, (1024, 1024), GTX280)).time_s
+        assert t280 < t88
+
+    def test_stats_shapes(self, mm_source):
+        sizes = {"n": 256, "m": 256, "w": 256}
+        k = parse_kernel(mm_source)
+        stats = analyze_kernel(k, sizes, LaunchConfig((16, 16), (16, 16)),
+                               GTX280)
+        assert stats.alu_ops_per_thread > 256      # the w-loop body
+        arrays = {t.access.array for t in stats.global_traffic}
+        assert arrays == {"a", "b", "c"}

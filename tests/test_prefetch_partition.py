@@ -1,0 +1,169 @@
+"""Prefetching (Section 3.6) and partition-camping elimination (3.7)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompileOptions, compile_kernel
+from repro.lang.parser import parse_kernel
+from repro.lang.printer import print_kernel
+from repro.machine import GTX280, GTX8800
+from repro.passes.base import CompilationContext
+from repro.passes.coalesce_transform import CoalesceTransformPass
+from repro.passes.partition import PartitionCampingPass, detect_camping
+from repro.passes.prefetch import PrefetchPass
+from repro.sim.interp import LaunchConfig, launch
+
+SIZES = {"n": 64, "m": 64, "w": 64}
+
+
+def staged(source, sizes, domain, block=(16, 1)):
+    kernel = parse_kernel(source)
+    ctx = CompilationContext(kernel=kernel, sizes=dict(sizes),
+                             domain=domain)
+    CoalesceTransformPass(block=block).run(ctx)
+    return kernel, ctx
+
+
+class TestPrefetch:
+    def test_figure8_structure(self, mm_source):
+        kernel, ctx = staged(mm_source, SIZES, (64, 64))
+        PrefetchPass().run(ctx)
+        text = print_kernel(kernel)
+        assert ctx.prefetch_applied
+        # Initial fetch before the loop, register temp in the loop, and a
+        # bounded next-iteration fetch after the first barrier.
+        assert "float pf0 = a[idy][tidx]" in text or \
+            "float pf0 = a[idy][0 + tidx]" in text
+        assert "shared0[tidx] = pf0" in text
+        assert "i + 16 < " in text
+
+    def test_semantics_preserved(self, mm_source, rng):
+        kernel, ctx = staged(mm_source, SIZES, (64, 64))
+        PrefetchPass().run(ctx)
+        a = rng.random((64, 64), dtype=np.float32)
+        b = rng.random((64, 64), dtype=np.float32)
+        arrays = {"a": a, "b": b, "c": np.zeros((64, 64), np.float32)}
+        launch(kernel, LaunchConfig(grid=ctx.grid, block=ctx.block),
+               arrays, SIZES)
+        np.testing.assert_allclose(arrays["c"], a @ b, rtol=1e-4)
+
+    def test_guarded_load_prefetched_with_guard(self, mm_source, rng):
+        kernel, ctx = staged(mm_source, SIZES, (64, 64), block=(32, 1))
+        PrefetchPass().run(ctx)
+        text = print_kernel(kernel)
+        assert "tidx < 16 && i + 16 <" in text
+        a = rng.random((64, 64), dtype=np.float32)
+        b = rng.random((64, 64), dtype=np.float32)
+        arrays = {"a": a, "b": b, "c": np.zeros((64, 64), np.float32)}
+        launch(kernel, LaunchConfig(grid=ctx.grid, block=ctx.block),
+               arrays, SIZES)
+        np.testing.assert_allclose(arrays["c"], a @ b, rtol=1e-4)
+
+    def test_skipped_without_main_loop(self, tp_source):
+        kernel, ctx = staged(tp_source, SIZES, (64, 64))
+        PrefetchPass().run(ctx)
+        assert not ctx.prefetch_applied
+
+    def test_skipped_for_nested_main_loop(self):
+        src = """
+        __global__ void f(float a[n][n], float c[n][m], int n, int m) {
+            for (int i = 0; i < n; i++) {
+                float s = 0;
+                for (int j = 0; j < n; j++)
+                    s += a[i][j];
+                c[i][idx] = s;
+            }
+        }
+        """
+        kernel, ctx = staged(src, SIZES, (64, 1))
+        PrefetchPass().run(ctx)
+        assert not ctx.prefetch_applied
+
+    def test_driver_skips_when_registers_tight(self, mm_source):
+        # Default pipeline thread-merges 16x, consuming the register file.
+        ck = compile_kernel(mm_source, {"n": 2048, "m": 2048, "w": 2048},
+                            (2048, 2048), GTX280)
+        assert not ck.ctx.prefetch_applied
+        assert any("registers" in line for line in ck.log
+                   if "prefetch" in line)
+
+
+class TestPartitionDetection:
+    def test_mv_camps_when_width_matches_partitions(self, mv_source):
+        # 2048 floats per row = 8 KB = a multiple of 8 partitions x 256 B.
+        sizes = {"n": 2048, "w": 2048}
+        kernel, ctx = staged(mv_source, sizes, (2048, 1), block=(16, 1))
+        ctx.machine = GTX280
+        assert detect_camping(ctx)
+
+    def test_no_camping_on_gtx8800_4k(self, tp_source):
+        sizes = {"n": 4096, "m": 4096}
+        kernel, ctx = staged(tp_source, sizes, (4096, 4096))
+        ctx.machine = GTX8800
+        assert not detect_camping(ctx)  # 16 KB rows spread over 6 partitions
+
+    def test_camping_on_gtx8800_3k(self, tp_source):
+        sizes = {"n": 3072, "m": 3072}
+        kernel, ctx = staged(tp_source, sizes, (3072, 3072))
+        ctx.machine = GTX8800
+        assert detect_camping(ctx)
+
+    def test_coalesced_row_walk_does_not_camp(self, mm_source):
+        sizes = {"n": 2048, "m": 2048, "w": 2048}
+        kernel, ctx = staged(mm_source, sizes, (2048, 2048))
+        ctx.machine = GTX280
+        assert not detect_camping(ctx)
+
+
+class TestPartitionElimination:
+    def test_offset_inserted_for_1d_grid(self, mv_source, rng):
+        sizes = {"n": 2048, "w": 2048}
+        kernel, ctx = staged(mv_source, sizes, (2048, 1))
+        ctx.machine = GTX280
+        PartitionCampingPass().run(ctx)
+        assert ctx.partition_fix == "offset"
+        assert "% 2048" in print_kernel(kernel)
+
+    def test_offset_preserves_mv_result(self, mv_source, rng):
+        # Use a small width that still triggers the GTX8800 stride rule:
+        # 384 floats = 1536 B = partition span of the 6-partition machine.
+        sizes = {"n": 64, "w": 384}
+        kernel, ctx = staged(mv_source, sizes, (64, 1))
+        ctx.machine = GTX8800
+        PartitionCampingPass().run(ctx)
+        assert ctx.partition_fix == "offset"
+        a = rng.random((64, 384), dtype=np.float32)
+        b = rng.random(384, dtype=np.float32)
+        arrays = {"a": a, "b": b, "c": np.zeros(64, np.float32)}
+        launch(kernel, LaunchConfig(grid=ctx.grid, block=ctx.block),
+               arrays, sizes)
+        np.testing.assert_allclose(arrays["c"], a @ b, rtol=2e-3)
+
+    def test_diagonal_for_2d_grid(self, tp_source, rng):
+        sizes = {"n": 128, "m": 128}
+        kernel, ctx = staged(tp_source, sizes, (128, 128))
+        ctx.machine = GTX280
+        # 128 floats/row = 512 B; force detection by the 8800's 1536 B?
+        # Use direct pass invocation on a size that camps on GTX280:
+        sizes = {"n": 2048, "m": 2048}
+        kernel, ctx = staged(tp_source, sizes, (2048, 2048))
+        ctx.machine = GTX280
+        PartitionCampingPass().run(ctx)
+        assert ctx.partition_fix == "diagonal"
+        text = print_kernel(kernel)
+        assert "bidx_d" in text and "bidy_d" in text
+
+    def test_diagonal_preserves_transpose(self, tp_source, rng):
+        ck = compile_kernel(tp_source, {"n": 64, "m": 64}, (64, 64),
+                            GTX280)
+        a = rng.random((64, 64), dtype=np.float32)
+        arrays = {"a": a, "c": np.zeros((64, 64), np.float32)}
+        ck.run(arrays)
+        assert np.array_equal(arrays["c"], a.T)
+
+    def test_no_fix_when_no_camping(self, mm_source):
+        sizes = {"n": 2048, "m": 2048, "w": 2048}
+        kernel, ctx = staged(mm_source, sizes, (2048, 2048))
+        ctx.machine = GTX280
+        PartitionCampingPass().run(ctx)
+        assert ctx.partition_fix is None

@@ -1,0 +1,107 @@
+"""Printer tests: round-tripping and minimal parenthesization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.astnodes import Binary, Ident, IntLit, Ternary, Unary
+from repro.lang.parser import parse_kernel
+from repro.lang.printer import print_expr, print_kernel
+
+
+def roundtrip(source: str):
+    k1 = parse_kernel(source)
+    k2 = parse_kernel(print_kernel(k1))
+    return k1, k2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("algo", ["tmv", "mm", "mv", "vv", "strsm",
+                                      "conv", "tp", "demosaic",
+                                      "imregionmax"])
+    def test_suite_kernels_roundtrip(self, algo):
+        from repro.kernels.suite import ALGORITHMS
+        k1, k2 = roundtrip(ALGORITHMS[algo].source)
+        assert k1 == k2
+
+    def test_optimized_kernel_roundtrips(self, mm_source):
+        from repro.compiler import compile_kernel
+        sizes = {"n": 64, "m": 64, "w": 64}
+        ck = compile_kernel(mm_source, sizes, (64, 64))
+        reparsed = parse_kernel(ck.source)
+        assert reparsed == ck.kernel
+
+    def test_pragmas_printed(self):
+        src = ("#pragma output c\n__global__ void f(float c[n], int n) "
+               "{ c[idx] = 0; }")
+        k1, k2 = roundtrip(src)
+        assert k1.pragmas == k2.pragmas
+
+
+class TestParenthesization:
+    def test_no_redundant_parens_in_sum(self):
+        text = print_expr(Binary("+", Binary("+", Ident("a"), Ident("b")),
+                                 Ident("c")))
+        assert text == "a + b + c"
+
+    def test_parens_kept_for_right_subtraction(self):
+        text = print_expr(Binary("-", Ident("a"),
+                                 Binary("-", Ident("b"), Ident("c"))))
+        assert text == "a - (b - c)"
+
+    def test_parens_around_add_under_mul(self):
+        text = print_expr(Binary("*", Binary("+", Ident("a"), Ident("b")),
+                                 IntLit(2)))
+        assert text == "(a + b) * 2"
+
+    def test_unary_inside_binary(self):
+        text = print_expr(Binary("*", Unary("-", Ident("a")), Ident("b")))
+        assert text == "-a * b"
+
+    def test_ternary_prints(self):
+        text = print_expr(Ternary(Binary("<", Ident("a"), Ident("b")),
+                                  IntLit(1), IntLit(0)))
+        assert text == "a < b ? 1 : 0"
+
+    def test_float_literal_gets_f_suffix(self):
+        k = parse_kernel(
+            "__global__ void f(float a[n], int n) { a[idx] = 2.5; }")
+        assert "2.5f" in print_kernel(k)
+
+
+# -- property-based round-trip on generated integer expressions -----------
+
+_names = st.sampled_from(["idx", "idy", "tidx", "n", "q"])
+
+
+def _exprs(depth):
+    if depth == 0:
+        return st.one_of(
+            st.integers(min_value=0, max_value=99).map(IntLit),
+            _names.map(Ident))
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        st.integers(min_value=0, max_value=99).map(IntLit),
+        _names.map(Ident),
+        st.tuples(st.sampled_from(["+", "-", "*", "/", "%"]), sub, sub)
+        .map(lambda t: Binary(t[0], t[1], t[2])),
+        sub.map(lambda e: Unary("-", e)),
+    )
+
+
+class TestPropertyRoundTrip:
+    @given(_exprs(3))
+    @settings(max_examples=150, deadline=None)
+    def test_print_parse_print_is_stable(self, expr):
+        """print -> parse -> print reaches a fixpoint and preserves
+        structure up to the parser's canonical form."""
+        from repro.lang.lexer import Lexer
+        from repro.lang.parser import Parser
+        text1 = print_expr(expr)
+        src = f"__global__ void f(int n) {{ int q = {text1}; }}"
+        reparsed = parse_kernel(src).body[0].init
+        text2 = print_expr(reparsed)
+        assert text1 == text2
+        # And a second round-trip parses to an equal tree.
+        src2 = f"__global__ void f(int n) {{ int q = {text2}; }}"
+        assert parse_kernel(src2).body[0].init == reparsed

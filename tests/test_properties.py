@@ -1,0 +1,130 @@
+"""Cross-cutting property-based tests.
+
+The central invariant of the whole system: for any supported kernel and
+any legal combination of merge factors, the compiled kernel computes the
+same function as the naive kernel.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CompileOptions, compile_kernel
+from repro.lang.parser import parse_kernel
+from repro.machine import GTX280, GTX8800
+from repro.passes.base import PassError
+from repro.sim.interp import Interpreter, LaunchConfig
+
+MM = """
+__global__ void mm(float a[n][w], float b[w][m], float c[n][m], int n, int m, int w) {
+    float sum = 0;
+    for (int i = 0; i < w; i++)
+        sum += a[idy][i] * b[i][idx];
+    c[idy][idx] = sum;
+}
+"""
+
+
+class TestCompiledEquivalence:
+    @given(block_merge=st.sampled_from([1, 2, 4]),
+           thread_merge=st.sampled_from([1, 2, 4, 8]),
+           machine=st.sampled_from([GTX280, GTX8800]))
+    @settings(max_examples=12, deadline=None)
+    def test_mm_equivalent_under_any_merge_config(self, block_merge,
+                                                  thread_merge, machine):
+        n = 32
+        sizes = {"n": n, "m": n, "w": n}
+        options = CompileOptions(block_merge_x=block_merge,
+                                 thread_merge_y=thread_merge,
+                                 target_threads=16 * block_merge)
+        try:
+            ck = compile_kernel(MM, sizes, (n, n), machine, options)
+        except PassError:
+            return  # infeasible combinations are allowed to be rejected
+        rng = np.random.default_rng(block_merge * 100 + thread_merge)
+        a = rng.random((n, n), dtype=np.float32)
+        b = rng.random((n, n), dtype=np.float32)
+        c = np.zeros((n, n), dtype=np.float32)
+        ck.run({"a": a, "b": b, "c": c})
+        np.testing.assert_allclose(c, a @ b, rtol=1e-4)
+
+    @given(scale=st.sampled_from([16, 32, 48, 64]))
+    @settings(max_examples=4, deadline=None)
+    def test_strsm_any_size(self, scale):
+        from repro.kernels.suite import ALGORITHMS
+        algo = ALGORITHMS["strsm"]
+        sizes = algo.sizes(scale)
+        ck = compile_kernel(algo.source, sizes, algo.domain(sizes))
+        rng = np.random.default_rng(scale)
+        arrays = algo.make_arrays(rng, sizes)
+        work = {k: v.copy() for k, v in arrays.items()}
+        ck.run(work)
+        ref = algo.reference(arrays, sizes)["x"]
+        np.testing.assert_allclose(work["x"], ref, rtol=5e-3, atol=1e-5)
+
+
+class TestInterpreterArithmetic:
+    @given(a=st.integers(-50, 50), b=st.integers(-50, 50),
+           c=st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_integer_expression_agrees_with_c_semantics(self, a, b, c):
+        src = f"""
+        __global__ void f(int out[4]) {{
+            out[0] = {a} + {b} * {c};
+            out[1] = ({a}) / {c};
+            out[2] = ({a}) % {c};
+            out[3] = ({a} < {b}) + ({a} == {b});
+        }}
+        """
+        out = np.zeros(4, dtype=np.int32)
+        Interpreter(parse_kernel(src)).run(
+            LaunchConfig(grid=(1, 1), block=(1, 1)), {"out": out})
+        from repro.sim.values import c_div, c_mod
+        assert out[0] == a + b * c
+        assert out[1] == c_div(a, c)
+        assert out[2] == c_mod(a, c)
+        assert out[3] == int(a < b) + int(a == b)
+
+    @given(vals=st.lists(st.floats(min_value=-100, max_value=100,
+                                   allow_nan=False, width=32),
+                         min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_shared_tree_reduction_is_a_sum(self, vals):
+        src = """
+        __global__ void f(float a[16], float out[1]) {
+            __shared__ float s[16];
+            s[tidx] = a[idx];
+            __syncthreads();
+            for (int st = 8; st > 0; st = st / 2) {
+                if (tidx < st)
+                    s[tidx] += s[tidx + st];
+                __syncthreads();
+            }
+            if (tidx == 0)
+                out[0] = s[0];
+        }
+        """
+        a = np.array(vals, dtype=np.float32)
+        out = np.zeros(1, dtype=np.float32)
+        Interpreter(parse_kernel(src)).run(
+            LaunchConfig(grid=(1, 1), block=(16, 1)),
+            {"a": a, "out": out})
+        assert out[0] == pytest.approx(float(a.sum()), rel=1e-4,
+                                       abs=1e-3)
+
+
+class TestEstimateInvariants:
+    @given(scale=st.sampled_from([256, 512, 1024]),
+           machine=st.sampled_from([GTX280, GTX8800]))
+    @settings(max_examples=6, deadline=None)
+    def test_estimate_components_consistent(self, scale, machine):
+        from repro.sim.perf import estimate_compiled
+        sizes = {"n": scale, "m": scale, "w": scale}
+        ck = compile_kernel(MM, sizes, (scale, scale), machine)
+        est = estimate_compiled(ck)
+        assert est.time_s >= max(est.compute_s, est.bandwidth_s,
+                                 est.latency_s) - 1e-12
+        assert est.total_bytes > 0
+        assert est.partition_factor >= 1.0
+        assert est.occupancy.warps_per_sm >= 1

@@ -1,0 +1,128 @@
+"""The reduction path: recognition, fission, all load styles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.naive import RD, RD_COMPLEX
+from repro.lang.parser import parse_kernel
+from repro.machine import GTX280, GTX8800
+from repro.passes.base import PassError
+from repro.reduction import (CompiledReduction, ReductionPlan,
+                             compile_reduction, recognize_reduction)
+
+SMALL_PLAN = ReductionPlan(block_threads=64, thread_merge=4)
+
+
+class TestRecognition:
+    def test_rd_recognized(self):
+        assert recognize_reduction(parse_kernel(RD)) == "a"
+
+    def test_rd_complex_recognized(self):
+        assert recognize_reduction(parse_kernel(RD_COMPLEX)) == "t"
+
+    def test_non_reduction_rejected(self, mm_source):
+        assert recognize_reduction(parse_kernel(mm_source)) is None
+
+    def test_compile_rejects_non_reduction(self, mm_source):
+        with pytest.raises(PassError):
+            compile_reduction(mm_source, 1024)
+
+    def test_pragma_names_the_output(self):
+        k = parse_kernel(RD)
+        assert k.output_names() == ["a"]
+
+
+class TestFissionStructure:
+    def test_two_stage_program(self):
+        cr = compile_reduction(RD, 1 << 20, GTX280)
+        launches = cr.launches()
+        assert launches[0][0] == "stage1"
+        assert all(name == "stage2" for name, _, _ in launches[1:])
+        # The program must converge to a single value.
+        assert launches[-1][1].grid[0] == 1
+
+    def test_stage1_grid_covers_input(self):
+        cr = compile_reduction(RD, 1 << 20, GTX280, plan=SMALL_PLAN)
+        chunk = SMALL_PLAN.block_threads * SMALL_PLAN.thread_merge
+        assert cr.stage1_grid() == (1 << 20) // chunk
+
+    def test_exact_divisibility_drops_guard(self):
+        cr = compile_reduction(RD, 1 << 16, GTX280, plan=SMALL_PLAN)
+        assert "pos < n" not in cr.stage1_source
+
+    def test_sources_print(self):
+        cr = compile_reduction(RD, 1 << 16, GTX280)
+        assert "__shared__ float sdata" in cr.stage1_source
+        assert "partial[bidx] = sdata[0]" in cr.stage2_source
+
+    def test_styles_selected_by_vectorize_flag(self):
+        v = compile_reduction(RD_COMPLEX, 1 << 12, GTX280, vectorize=True)
+        assert v.plan.load_style == "vectorized"
+        w = compile_reduction(RD_COMPLEX, 1 << 12, GTX280, vectorize=False)
+        assert w.plan.load_style == "staged"
+        d = compile_reduction(RD, 1 << 12, GTX280)
+        assert d.plan.load_style == "direct"
+
+
+class TestFunctional:
+    def test_direct_sum(self, rng):
+        data = rng.random(1 << 13, dtype=np.float32)
+        cr = compile_reduction(RD, len(data), GTX280, plan=SMALL_PLAN)
+        result = cr.run(data.copy())
+        assert abs(result - data.sum()) / data.sum() < 1e-4
+
+    def test_vectorized_complex_sum(self, rng):
+        n = 1 << 12
+        data = rng.standard_normal(2 * n).astype(np.float32)
+        cr = compile_reduction(RD_COMPLEX, n, GTX280, plan=SMALL_PLAN,
+                               vectorize=True)
+        result = cr.run(data.copy())
+        expected = np.abs(data).sum()
+        assert abs(result - expected) / expected < 1e-4
+
+    def test_staged_complex_sum_matches_vectorized(self, rng):
+        n = 1 << 12
+        data = rng.standard_normal(2 * n).astype(np.float32)
+        v = compile_reduction(RD_COMPLEX, n, GTX280,
+                              plan=ReductionPlan(64, 4),
+                              vectorize=True).run(data.copy())
+        w = compile_reduction(RD_COMPLEX, n, GTX280,
+                              plan=ReductionPlan(64, 4),
+                              vectorize=False).run(data.copy())
+        assert abs(v - w) < 1e-2
+
+    @given(st.integers(min_value=6, max_value=13))
+    @settings(max_examples=8, deadline=None)
+    def test_power_of_two_sizes(self, log_n):
+        rng = np.random.default_rng(log_n)
+        n = 1 << log_n
+        data = rng.random(n, dtype=np.float32)
+        cr = compile_reduction(RD, n, GTX280,
+                               plan=ReductionPlan(block_threads=32,
+                                                  thread_merge=2))
+        result = cr.run(data.copy())
+        assert abs(result - data.sum()) / max(1e-6, data.sum()) < 1e-3
+
+    def test_non_divisible_size_guarded(self, rng):
+        # 5000 elements do not divide the 64*4 chunk: guards must handle
+        # the tail.
+        n = 8192 + 64  # still a multiple of the halving naive loop? No -
+        # the fissioned program doesn't need power-of-two sizes.
+        data = rng.random(n, dtype=np.float32)
+        cr = compile_reduction(RD, n, GTX280, plan=SMALL_PLAN)
+        result = cr.run(data.copy())
+        assert abs(result - data.sum()) / data.sum() < 1e-3
+
+
+class TestNaiveReference:
+    def test_naive_global_sync_reduction_runs(self, rng):
+        """The naive kernel itself runs on the simulator's grid barrier."""
+        from repro.sim.interp import LaunchConfig, launch
+        data = rng.random(256, dtype=np.float32)
+        expected = data.sum()
+        kernel = parse_kernel(RD)
+        launch(kernel, LaunchConfig(grid=(16, 1), block=(16, 1)),
+               {"a": data}, {"n": 256})
+        assert abs(data[0] - expected) / expected < 1e-4

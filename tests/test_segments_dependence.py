@@ -1,0 +1,110 @@
+"""Coalesced-segment math and inter-block sharing analysis."""
+
+import pytest
+
+from repro.ir.access import collect_accesses
+from repro.ir.dependence import (SharingKind, analyze_array_sharing,
+                                 analyze_sharing, block_delta)
+from repro.ir.segments import (address_range, halfwarp_addresses,
+                               segments_for_halfwarp,
+                               transactions_per_halfwarp)
+from repro.lang.parser import parse_kernel
+
+SIZES = {"n": 64, "m": 64, "w": 64}
+
+
+def load_of(source, array, sizes=SIZES):
+    accs = collect_accesses(parse_kernel(source), sizes)
+    return next(a for a in accs if a.array == array and a.is_load)
+
+
+class TestSegments:
+    def test_coalesced_access_is_one_segment(self, mm_source):
+        b = load_of(mm_source, "b")
+        segs = segments_for_halfwarp(b, {"i": 0, "bidx": 0, "bidy": 0,
+                                         "idy": 0})
+        assert len(segs) == 1
+        assert segs[0].start % 16 == 0
+
+    def test_column_access_is_sixteen_segments(self, mv_source):
+        a = load_of(mv_source, "a")
+        segs = segments_for_halfwarp(a, {"i": 0, "bidx": 0, "idx": 0})
+        assert len(segs) == 16  # each thread in its own row
+
+    def test_broadcast_is_one_segment(self, mm_source):
+        a = load_of(mm_source, "a")  # a[idy][i]: same address for all
+        segs = segments_for_halfwarp(a, {"i": 0, "idy": 0, "bidx": 0})
+        assert len(segs) == 1
+
+    def test_misaligned_access_spans_two_segments(self):
+        src = """
+        __global__ void f(float a[n], float c[n], int n) {
+            c[idx] = a[idx + 1];
+        }
+        """
+        a = load_of(src, "a", {"n": 64})
+        segs = segments_for_halfwarp(a, {"bidx": 0, "idx": 0})
+        assert len(segs) == 2
+
+    def test_halfwarp_addresses_consecutive(self, mm_source):
+        b = load_of(mm_source, "b")
+        addrs = halfwarp_addresses(b, {"i": 0, "bidx": 0, "idx": 0})
+        assert addrs == list(range(16))
+
+    def test_transactions_count(self, mv_source):
+        a = load_of(mv_source, "a")
+        assert transactions_per_halfwarp(
+            a, {"i": 0, "bidx": 0, "idx": 0}) == 16
+
+    def test_address_range_interval(self, mm_source):
+        a = load_of(mm_source, "a")
+        lo, hi = address_range(a, {"idy": 2, "bidx": 0},
+                               loop_domains={"i": (0, 63)})
+        assert lo == 2 * 64
+        assert hi == 2 * 64 + 63
+
+
+class TestSharing:
+    def test_mm_sharing_matches_paper(self, mm_source):
+        accs = collect_accesses(parse_kernel(mm_source), SIZES)
+        sharings = {(s.access.array, s.direction): s
+                    for s in analyze_sharing(accs)}
+        # a[idy][i]: identical addresses across X-neighboring blocks.
+        assert sharings[("a", "x")].kind is SharingKind.FULL
+        assert sharings[("a", "y")].kind is SharingKind.NONE
+        # b[i][idx]: identical across Y-neighboring blocks.
+        assert sharings[("b", "y")].kind is SharingKind.FULL
+        assert sharings[("b", "x")].kind is SharingKind.NONE
+
+    def test_block_delta(self, mm_source):
+        b = load_of(mm_source, "b")
+        assert block_delta(b.address, "x", (16, 1)) == 16
+        assert block_delta(b.address, "y", (16, 1)) == 0
+
+    def test_stores_not_analyzed(self, mm_source):
+        accs = collect_accesses(parse_kernel(mm_source), SIZES)
+        arrays = {s.access.array for s in analyze_sharing(accs)}
+        assert "c" not in arrays
+
+    def test_stencil_array_sharing_partial(self):
+        src = """
+        __global__ void f(float a[n][m], float c[n][m], int n, int m) {
+            c[idy][idx] = a[idy][idx] + a[idy][idx + 1] + a[idy][idx + 2];
+        }
+        """
+        accs = collect_accesses(parse_kernel(src), {"n": 64, "m": 64})
+        per_array = {(s.array, s.direction): s
+                     for s in analyze_array_sharing(accs)}
+        assert per_array[("a", "x")].kind is SharingKind.PARTIAL
+        assert 0 < per_array[("a", "x")].overlap_fraction < 0.5
+
+    def test_elementwise_no_sharing(self):
+        src = """
+        __global__ void f(float a[n], float c[n], int n) {
+            c[idx] = a[idx] * 2.0f;
+        }
+        """
+        accs = collect_accesses(parse_kernel(src), {"n": 256})
+        kinds = {s.kind for s in analyze_sharing(accs)
+                 if s.direction == "x"}
+        assert kinds == {SharingKind.NONE}

@@ -1,0 +1,140 @@
+"""Semantic checking and the final expression-simplification pass."""
+
+import pytest
+
+from repro.lang.parser import parse_kernel
+from repro.lang.printer import print_expr
+from repro.lang.semantic import SemanticError, check_kernel
+from repro.passes.simplify import fold_int_expr
+
+
+def check(source, mode="naive"):
+    check_kernel(parse_kernel(source), mode=mode)
+
+
+class TestSemanticNaiveMode:
+    def test_valid_kernel_passes(self, mm_source):
+        check(mm_source)
+
+    def test_undeclared_name(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check("__global__ void f(float a[n], int n) { a[idx] = q; }")
+
+    def test_shared_forbidden_in_naive(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            __shared__ float s[16];
+            s[tidx] = 0;
+            a[idx] = s[tidx];
+        }
+        """
+        with pytest.raises(SemanticError, match="__shared__"):
+            check(src)
+
+    def test_syncthreads_forbidden_in_naive(self):
+        src = ("__global__ void f(float a[n], int n) "
+               "{ __syncthreads(); a[idx] = 0; }")
+        with pytest.raises(SemanticError, match="syncthreads"):
+            check(src)
+
+    def test_global_sync_allowed_in_naive(self):
+        src = ("__global__ void f(float a[n], int n) "
+               "{ a[idx] = 0; __global_sync(); }")
+        check(src)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(SemanticError, match="rank"):
+            check("__global__ void f(float a[n][n], int n) "
+                  "{ a[idx] = 0; }")
+
+    def test_subscript_of_scalar(self):
+        with pytest.raises(SemanticError, match="not an array"):
+            check("__global__ void f(float a[n], int n) { a[n[0]] = 0; }")
+
+    def test_array_used_without_subscript(self):
+        with pytest.raises(SemanticError, match="without subscripts"):
+            check("__global__ void f(float a[n], float c[n], int n) "
+                  "{ c[idx] = a; }")
+
+    def test_predefined_shadowing_rejected(self):
+        with pytest.raises(SemanticError, match="shadows"):
+            check("__global__ void f(float a[n], int n) "
+                  "{ int idx = 0; a[idx] = 0; }")
+
+    def test_unknown_extent_symbol(self):
+        with pytest.raises(SemanticError, match="extent"):
+            check("__global__ void f(float a[q], int n) { a[idx] = 0; }")
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            check("__global__ void f(int n, int n) { int q = n; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check("__global__ void f(int n) { int q = 0; int q = 1; }")
+
+    def test_member_on_scalar(self):
+        with pytest.raises(SemanticError, match="member"):
+            check("__global__ void f(float a[n], int n) "
+                  "{ float v = 1; a[idx] = v.x; }")
+
+    def test_float2_member_w_rejected(self):
+        with pytest.raises(SemanticError, match="invalid"):
+            check("__global__ void f(float2 a[n], float c[n], int n) "
+                  "{ float2 v = a[idx]; c[idx] = v.w; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError, match="unknown function"):
+            check("__global__ void f(float a[n], int n) "
+                  "{ a[idx] = frobnicate(1.0f); }")
+
+    def test_optimized_mode_allows_shared_and_sync(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            __shared__ float s[16];
+            s[tidx] = a[idx];
+            __syncthreads();
+            a[idx] = s[tidx];
+        }
+        """
+        check(src, mode="optimized")
+
+    def test_loop_scoping(self):
+        # The iterator is scoped to its loop; reuse in a sibling is legal.
+        src = """
+        __global__ void f(float a[n], int n) {
+            float s = 0;
+            for (int i = 0; i < n; i++) s += 1;
+            for (int i = 0; i < n; i++) s += 1;
+            a[idx] = s;
+        }
+        """
+        check(src)
+
+
+class TestSimplify:
+    def _expr(self, text):
+        src = f"__global__ void f(int n) {{ int q = {text}; }}"
+        return parse_kernel(src).body[0].init
+
+    def test_cancellation(self):
+        folded = fold_int_expr(self._expr("(b * 16 + tidx) - tidx + tidy"))
+        assert print_expr(folded) == "tidy + 16 * b"
+
+    def test_constant_folding(self):
+        folded = fold_int_expr(self._expr("2 * 3 + idx * 1 + 0"))
+        assert print_expr(folded) == "idx + 6"
+
+    def test_non_affine_untouched(self):
+        e = self._expr("idx % 16 + q / w")
+        assert fold_int_expr(e) is e
+
+    def test_compiled_tp_indices_clean(self, tp_source):
+        from repro.compiler import compile_kernel
+        from repro.machine import GTX280
+        ck = compile_kernel(tp_source, {"n": 2048, "m": 2048},
+                            (2048, 2048), GTX280)
+        # The diagonal substitution residue (idx - tidx + tidy with idx
+        # expanded) must be folded away.
+        assert "- tidx" not in ck.source
+        assert "bidx_d" in ck.source

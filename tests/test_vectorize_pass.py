@@ -1,0 +1,115 @@
+"""The Section 3.1 vectorization pass in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.ir.access import collect_accesses
+from repro.lang.parser import parse_kernel
+from repro.lang.printer import print_kernel
+from repro.lang.types import FLOAT, FLOAT2
+from repro.passes.base import CompilationContext
+from repro.passes.vectorize import VectorizePass, find_pairs
+
+PAIR = """
+__global__ void mag(float a[n2], float c[n], int n2, int n) {
+    float re = a[2 * idx];
+    float im = a[2 * idx + 1];
+    c[idx] = re * re + im * im;
+}
+"""
+
+
+def run_pass(source, sizes):
+    kernel = parse_kernel(source)
+    ctx = CompilationContext(kernel=kernel, sizes=dict(sizes),
+                             domain=(sizes.get("n", 64), 1))
+    VectorizePass().run(ctx)
+    return kernel, ctx
+
+
+class TestFindPairs:
+    def test_complex_pair_found(self):
+        accs = collect_accesses(parse_kernel(PAIR),
+                                {"n2": 128, "n": 64})
+        pairs = find_pairs(accs)
+        assert len(pairs) == 1
+        assert pairs[0].array == "a" and pairs[0].offset == 0
+
+    def test_even_offset_pairs(self):
+        src = PAIR.replace("2 * idx]", "2 * idx + 4]") \
+                  .replace("2 * idx + 1]", "2 * idx + 5]")
+        accs = collect_accesses(parse_kernel(src), {"n2": 128, "n": 64})
+        pairs = find_pairs(accs)
+        assert len(pairs) == 1 and pairs[0].offset == 4
+
+    def test_odd_base_not_paired(self):
+        # (2*idx+1, 2*idx+2) is not a real/imag pair (N must be even).
+        src = PAIR.replace("a[2 * idx]", "a[2 * idx + 1]") \
+                  .replace("a[2 * idx + 1]", "a[2 * idx + 2]")
+        accs = collect_accesses(parse_kernel(src), {"n2": 256, "n": 64})
+        assert not find_pairs(accs)
+
+    def test_stride_one_not_paired(self, mm_source):
+        accs = collect_accesses(parse_kernel(mm_source),
+                                {"n": 64, "m": 64, "w": 64})
+        assert not find_pairs(accs)
+
+    def test_stores_not_paired(self):
+        src = """
+        __global__ void f(float a[n2], int n2) {
+            a[2 * idx] = 0;
+            a[2 * idx + 1] = 0;
+        }
+        """
+        accs = collect_accesses(parse_kernel(src), {"n2": 128})
+        assert not find_pairs(accs)
+
+
+class TestTransform:
+    def test_param_retyped_and_extent_recorded(self):
+        kernel, ctx = run_pass(PAIR, {"n2": 128, "n": 64})
+        assert kernel.param("a").type == FLOAT2
+        assert ctx.vectorized
+        assert ctx.halved_extents == {"n2"}
+
+    def test_constant_extent_halved(self):
+        src = PAIR.replace("float a[n2]", "float a[128]")
+        kernel, ctx = run_pass(src, {"n2": 128, "n": 64})
+        assert kernel.param("a").dims == [64]
+        assert not ctx.halved_extents
+
+    def test_accesses_become_members(self):
+        kernel, _ = run_pass(PAIR, {"n2": 128, "n": 64})
+        text = print_kernel(kernel)
+        assert "float2 f0 = a[idx]" in text
+        assert "f0.x" in text and "f0.y" in text
+        assert "2 * idx" not in text
+
+    def test_no_pairs_is_a_noop(self, mm_source):
+        kernel, ctx = run_pass(mm_source, {"n": 64, "m": 64, "w": 64})
+        assert not ctx.vectorized
+        assert kernel.param("a").type == FLOAT
+
+    def test_semantics_preserved(self, rng):
+        from repro.sim.interp import Interpreter, LaunchConfig
+        kernel, ctx = run_pass(PAIR, {"n2": 128, "n": 64})
+        data = rng.standard_normal(128).astype(np.float32)
+        c = np.zeros(64, dtype=np.float32)
+        Interpreter(kernel).run(
+            LaunchConfig(grid=(4, 1), block=(16, 1)),
+            {"a": data.reshape(64, 2), "c": c}, {"n2": 64, "n": 64})
+        np.testing.assert_allclose(c, data[0::2] ** 2 + data[1::2] ** 2,
+                                   rtol=1e-5)
+
+    def test_multiple_pairs_same_array(self, rng):
+        src = """
+        __global__ void f(float a[n2], float c[n], int n2, int n) {
+            float r0 = a[2 * idx];
+            float i0 = a[2 * idx + 1];
+            c[idx] = r0 + i0;
+        }
+        """
+        kernel, ctx = run_pass(src, {"n2": 128, "n": 64})
+        assert ctx.vectorized
+        text = print_kernel(kernel)
+        assert text.count("float2") >= 1

@@ -1,0 +1,115 @@
+"""Rewriting utilities: substitution, renaming, expression builders."""
+
+import pytest
+
+from repro.ir.affine import AffineExpr
+from repro.lang.astnodes import Binary, DeclStmt, Ident, IntLit
+from repro.lang.parser import parse_kernel
+from repro.lang.printer import print_expr, print_kernel, print_stmt
+from repro.lang.visitor import (rename_decls, substitute_idents,
+                                substitute_in_body)
+from repro.passes.exprutil import add, affine_to_expr, intlit, mul, sub
+
+
+def body_of(src):
+    return parse_kernel(src).body
+
+
+class TestSubstitution:
+    def test_ident_substitution(self):
+        src = "__global__ void f(float a[n], int n) { a[idx] = 0; }"
+        body = substitute_in_body(
+            body_of(src), {"idx": Binary("+", Ident("idx"), IntLit(32))})
+        assert "a[idx + 32]" in print_stmt(body[0], 0)
+
+    def test_substitution_does_not_touch_other_names(self):
+        src = "__global__ void f(float a[n], int n) { a[idx] = n; }"
+        body = substitute_in_body(body_of(src), {"idy": IntLit(0)})
+        assert "a[idx] = n" in print_stmt(body[0], 0)
+
+    def test_substitution_is_not_recursive(self):
+        # idx -> idx + 1 must apply once, not loop forever.
+        expr = Binary("+", Ident("idx"), IntLit(0))
+        out = substitute_idents(expr, {"idx": Binary("+", Ident("idx"),
+                                                     IntLit(1))})
+        assert print_expr(out) == "idx + 1 + 0"
+
+    def test_array_base_replaced_only_by_ident(self):
+        src = "__global__ void f(float a[n], int n) { a[0] = 1; }"
+        body = substitute_in_body(body_of(src), {"a": Ident("b")})
+        assert "b[0]" in print_stmt(body[0], 0)
+
+    def test_substitution_reaches_nested_statements(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            for (int i = 0; i < n; i++)
+                if (idx < n)
+                    a[idx] = float(i);
+        }
+        """
+        body = substitute_in_body(body_of(src), {"idx": IntLit(7)})
+        text = "".join(print_stmt(s, 0) for s in body)
+        assert "a[7]" in text and "7 < n" in text
+
+
+class TestRenameDecls:
+    def test_decl_and_uses_renamed(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            float sum = 0;
+            sum += 1;
+            a[idx] = sum;
+        }
+        """
+        body = rename_decls(body_of(src), {"sum": "sum_0"})
+        text = "".join(print_stmt(s, 0) for s in body)
+        assert "sum_0" in text and " sum " not in text
+
+    def test_loop_iterator_renamed_in_header(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            for (int i = 0; i < n; i++)
+                a[idx] = float(i);
+        }
+        """
+        body = rename_decls(body_of(src), {"i": "j"})
+        text = "".join(print_stmt(s, 0) for s in body)
+        assert "int j = 0" in text and "j < n" in text
+
+
+class TestExprBuilders:
+    def test_add_folds_constants(self):
+        assert print_expr(add(intlit(2), intlit(3))) == "5"
+
+    def test_add_drops_zero(self):
+        assert print_expr(add(Ident("x"), intlit(0))) == "x"
+        assert print_expr(add(intlit(0), Ident("x"))) == "x"
+
+    def test_add_negative_becomes_subtraction(self):
+        assert print_expr(add(Ident("x"), intlit(-4))) == "x - 4"
+
+    def test_mul_identity_and_zero(self):
+        assert print_expr(mul(intlit(1), Ident("x"))) == "x"
+        assert print_expr(mul(Ident("x"), intlit(0))) == "0"
+
+    def test_sub_zero(self):
+        assert print_expr(sub(Ident("x"), intlit(0))) == "x"
+
+    def test_affine_to_expr_ordering(self):
+        form = AffineExpr({"tidx": 1, "i": 1}, 0)
+        assert print_expr(affine_to_expr(form, order=("i",))) == "i + tidx"
+
+    def test_affine_to_expr_negative_coefficients(self):
+        form = AffineExpr({"tidx": -1, "idx": 1}, 0)
+        text = print_expr(affine_to_expr(form, order=("idx",)))
+        assert text == "idx - tidx"
+
+    def test_affine_to_expr_constant_only(self):
+        assert print_expr(affine_to_expr(AffineExpr({}, 9))) == "9"
+
+    def test_affine_to_expr_roundtrips_through_affine_of(self):
+        from repro.ir.affine import affine_of
+        form = AffineExpr({"idx": 3, "i": -2, "tidx": 1}, 5)
+        expr = affine_to_expr(form)
+        env = {n: AffineExpr.term(n) for n in ("idx", "i", "tidx")}
+        assert affine_of(expr, env) == form
