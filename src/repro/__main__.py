@@ -1,22 +1,32 @@
-"""Command-line interface: compile a naive kernel file.
+"""Command-line interface: compile a naive kernel file, or lint the suite.
 
 Usage::
 
     python -m repro KERNEL.cu --size n=2048 --size m=2048 --size w=2048 \
-        --domain 2048x2048 [--machine GTX280] [--explore] [--stage coalesce]
+        --domain 2048x2048 [--machine GTX280] [--explore] [--stage coalesce] \
+        [--verify]
 
-Prints the optimized kernel, the launch configuration, the compiler's
-decision log, and the analytic performance estimate.
+    python -m repro lint [KERNEL ...] [--stage STAGE] [--scale N] [--json]
+
+The first form prints the optimized kernel, the launch configuration, the
+compiler's decision log, and the analytic performance estimate; with
+``--verify`` the static analyses (races / divergence / bounds / banks) run
+on the result and error findings abort compilation. The ``lint`` form runs
+those analyses over suite kernels at every pipeline stage and exits
+non-zero if any error-severity diagnostic is found.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.compiler import CompileOptions, compile_kernel
 from repro.explore import explore
+from repro.lang.semantic import SemanticError
 from repro.machine import MACHINES, machine
+from repro.passes.base import PassError
 from repro.sim.perf import estimate_compiled
 
 _STAGE_OPTIONS = {
@@ -30,6 +40,17 @@ _STAGE_OPTIONS = {
                                enable_partition=False),
     "merge": CompileOptions(enable_prefetch=False, enable_partition=False),
     "full": CompileOptions(),
+}
+
+#: lint --stage choice -> compile_stages key ('all' = every stage)
+_LINT_STAGES = {
+    "naive": "naive",
+    "vectorize": "+vectorize",
+    "coalesce": "+coalesce",
+    "merge": "+merge",
+    "prefetch": "+prefetch",
+    "partition": "+partition",
+    "full": "+partition",
 }
 
 
@@ -49,6 +70,11 @@ def _parse_domain(text):
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Optimize a naive GPGPU kernel (PLDI 2010 pipeline).")
@@ -63,6 +89,9 @@ def main(argv=None) -> int:
     parser.add_argument("--stage", default="full",
                         choices=sorted(_STAGE_OPTIONS),
                         help="stop after a cumulative optimization stage")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the static verifier on the result "
+                             "(errors abort compilation)")
     parser.add_argument("--explore", action="store_true",
                         help="empirically search merge factors (Section 4)")
     parser.add_argument("--quiet", action="store_true",
@@ -74,13 +103,20 @@ def main(argv=None) -> int:
     sizes = _parse_sizes(args.size)
     domain = _parse_domain(args.domain)
     mach = machine(args.machine)
+    options = _STAGE_OPTIONS[args.stage]
+    if args.verify:
+        from dataclasses import replace
+        options = replace(options, verify=True)
 
-    if args.explore:
-        result = explore(source, sizes, domain, mach)
-        compiled = result.best.compiled
-    else:
-        compiled = compile_kernel(source, sizes, domain, mach,
-                                  _STAGE_OPTIONS[args.stage])
+    try:
+        if args.explore:
+            result = explore(source, sizes, domain, mach)
+            compiled = result.best.compiled
+        else:
+            compiled = compile_kernel(source, sizes, domain, mach, options)
+    except (PassError, SemanticError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     print(compiled.source, end="")
     if args.quiet:
@@ -97,6 +133,115 @@ def main(argv=None) -> int:
     for line in compiled.log:
         print(f"//   {line}")
     return 0
+
+
+def lint_main(argv=None) -> int:
+    """``python -m repro lint``: verify suite kernels at pipeline stages."""
+    from repro.analysis import Severity, verify_compiled, verify_kernel
+    from repro.compiler import compile_stages
+    from repro.kernels.suite import ALGORITHMS
+    from repro.reduction import compile_reduction
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Statically verify suite kernels after every "
+                    "pipeline stage.")
+    parser.add_argument("kernels", nargs="*", metavar="KERNEL",
+                        help="suite kernel names (default: all)")
+    parser.add_argument("--stage", default="all",
+                        choices=["all"] + sorted(_LINT_STAGES),
+                        help="verify only one cumulative stage")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="problem scale (default: each kernel's "
+                             "test scale)")
+    parser.add_argument("--machine", default="GTX280",
+                        choices=sorted(MACHINES))
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit diagnostics as JSON")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the summary line")
+    args = parser.parse_args(argv)
+
+    names = args.kernels or sorted(ALGORITHMS)
+    unknown = [n for n in names if n not in ALGORITHMS]
+    if unknown:
+        print(f"error: unknown kernel(s) {', '.join(unknown)}; "
+              f"choose from {', '.join(sorted(ALGORITHMS))}",
+              file=sys.stderr)
+        return 2
+    mach = machine(args.machine)
+    wanted = None if args.stage == "all" else _LINT_STAGES[args.stage]
+
+    diagnostics = []
+    checked = 0
+    failed_compiles = 0
+    for name in names:
+        alg = ALGORITHMS[name]
+        scale = args.scale or alg.test_scale
+        sizes = alg.sizes(scale)
+        try:
+            if alg.uses_global_sync:
+                reports = _lint_reduction(alg, sizes, mach, verify_kernel)
+            else:
+                stages = compile_stages(alg.source, sizes,
+                                        alg.domain(sizes), mach)
+                reports = [(stage, verify_compiled(ck, stage=stage))
+                           for stage, ck in stages.items()
+                           if wanted is None or stage == wanted]
+        except (PassError, SemanticError) as exc:
+            print(f"error: {name}: compilation failed: {exc}",
+                  file=sys.stderr)
+            failed_compiles += 1
+            continue
+        for stage, report in reports:
+            checked += 1
+            diagnostics.extend(report)
+
+    if args.as_json:
+        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    elif not args.quiet:
+        for d in diagnostics:
+            print(d.render())
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    warnings = [d for d in diagnostics if d.severity is Severity.WARNING]
+    if not args.as_json:
+        print(f"lint: {checked} kernel stage(s) checked, "
+              f"{len(errors)} error(s), {len(warnings)} warning(s)")
+    return 1 if errors or failed_compiles else 0
+
+
+def _lint_reduction(alg, sizes, mach, verify_kernel):
+    """Verify both fission stages of a __global_sync reduction kernel."""
+    from repro.reduction import compile_reduction
+    compiled = compile_reduction(alg.source, sizes["n"], machine=mach)
+    reports = []
+    def bindings(kernel, size, grid):
+        out = {}
+        for p in kernel.scalar_params():
+            if p.name == "nb":
+                out[p.name] = grid
+            elif p.name == "n2":     # staged style: raw float count
+                out[p.name] = 2 * size
+            else:
+                out[p.name] = size
+        return out
+
+    for label, config, size in compiled.launches():
+        kernel = compiled.stage1 if label == "stage1" else compiled.stage2
+        report = verify_kernel(
+            kernel, bindings(kernel, size, config.grid[0]),
+            block=tuple(config.block), grid=tuple(config.grid),
+            machine=mach, stage=label)
+        reports.append((label, report))
+    # launches() only relaunches stage2 for large inputs; always verify it
+    # once under a representative configuration.
+    if all(label != "stage2" for label, _ in reports):
+        block = compiled.plan.block_threads
+        report = verify_kernel(
+            compiled.stage2, bindings(compiled.stage2, block, 1),
+            block=(block, 1), grid=(1, 1), machine=mach, stage="stage2")
+        reports.append(("stage2", report))
+    return reports
 
 
 if __name__ == "__main__":

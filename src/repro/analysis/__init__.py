@@ -1,0 +1,33 @@
+"""Static kernel verification (the analysis phase over the pass pipeline).
+
+The optimization passes emit ``__shared__`` staging and ``__syncthreads()``
+barriers (Section 3.3) and rewrite the index arithmetic those barriers
+protect (Sections 3.5-3.7).  This package checks the *output* of every
+pipeline stage statically:
+
+* :mod:`repro.analysis.races`      — shared-memory race detection over
+  barrier-delimited phases;
+* :mod:`repro.analysis.divergence` — barriers reachable under
+  thread-dependent control flow;
+* :mod:`repro.analysis.bounds`     — affine index ranges vs. declared
+  array extents;
+* :mod:`repro.analysis.banks`      — shared-memory bank-conflict lint.
+
+:mod:`repro.analysis.verifier` orchestrates them over a shared
+diagnostics framework (:mod:`repro.analysis.diagnostics`).
+"""
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.phases import PhaseSlicing, slice_phases
+from repro.analysis.verifier import VerifyOptions, verify_compiled, verify_kernel
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "PhaseSlicing",
+    "Severity",
+    "VerifyOptions",
+    "slice_phases",
+    "verify_compiled",
+    "verify_kernel",
+]

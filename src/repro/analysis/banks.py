@@ -1,0 +1,157 @@
+"""Shared-memory bank-conflict lint.
+
+GT200 shared memory is interleaved across 16 one-word banks; a half warp
+serializes when several of its threads hit distinct addresses in the same
+bank (``bank = addr % 16``), with a fully-uniform address exempt as a
+broadcast.  This lint replays that model — the same
+:func:`repro.sim.timing.bank_serialization` degree the timing simulator
+charges — over every ``__shared__`` access of the transformed kernel and
+warns when an access serializes ≥ ``WARN_DEGREE``-way.  It is what
+catches a dropped padding column (the 16×17 tile trick) after a pass
+reshuffles indices.
+
+Loop iterators are warp-uniform per instruction issue, so each sampled
+iterator assignment is evaluated with a *common* value across the half
+warp; threads whose guards evaluate false are inactive and excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.concrete import (
+    eval_guard,
+    halfwarp_threads,
+    linear_address,
+    loop_values,
+    thread_bindings,
+)
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.ir.access import AccessInfo, collect_accesses
+from repro.lang.astnodes import Kernel
+from repro.machine import GTX280, GpuSpec
+from repro.sim.timing import bank_serialization
+
+#: Serialization degree at and above which the lint warns.
+WARN_DEGREE = 4
+
+_LOOP_CAP = 6
+_ASSIGN_CAP = 24
+
+
+def _iterator_assignments(acc: AccessInfo, base: Mapping[str, int]
+                          ) -> List[Dict[str, int]]:
+    """Sampled warp-common loop-iterator assignments for one access."""
+    out: List[Dict[str, int]] = [{}]
+    for info in acc.loops:
+        nxt: List[Dict[str, int]] = []
+        for partial in out:
+            scope = dict(base)
+            scope.update(partial)
+            vals = loop_values(info, scope, acc.term_defs, cap=_LOOP_CAP,
+                               env=acc.env_forms)
+            if vals is None:
+                # Thread-dependent loop start (a staging copy loop like
+                # ``cb = tidx + 16*tidy``): evaluate it per thread later
+                # by leaving the iterator unbound here.
+                continue
+            for v in vals.values:
+                combo = dict(partial)
+                combo[info.name] = v
+                nxt.append(combo)
+                if len(nxt) >= _ASSIGN_CAP:
+                    break
+            if len(nxt) >= _ASSIGN_CAP:
+                break
+        out = nxt if nxt else out
+    return out
+
+
+def _thread_local_loops(acc: AccessInfo, bound: Sequence[str]
+                        ) -> List[str]:
+    return [info.name for info in acc.loops if info.name not in bound]
+
+
+def check_banks(kernel: Kernel, sizes: Mapping[str, int],
+                block: Tuple[int, int], grid: Tuple[int, int] = (1, 1),
+                *, kernel_name: str = "", stage: str = "",
+                machine: Optional[GpuSpec] = None,
+                accesses: Optional[Sequence[AccessInfo]] = None
+                ) -> List[Diagnostic]:
+    """Warn on shared accesses serializing ≥ :data:`WARN_DEGREE`-way."""
+    if machine is None:
+        machine = GTX280
+    if accesses is None:
+        accesses = collect_accesses(kernel, sizes)
+    banks = machine.shared_banks
+    halfwarp = halfwarp_threads(block)
+    if len(halfwarp) < 2:
+        return []
+
+    diags: List[Diagnostic] = []
+    for acc in accesses:
+        if acc.space != "shared":
+            continue
+        degree = _worst_degree(acc, block, grid, halfwarp, banks)
+        if degree is not None and degree >= WARN_DEGREE:
+            kind = "store" if acc.is_store else "load"
+            diags.append(Diagnostic(
+                analysis="banks", severity=Severity.WARNING,
+                message=(f"{degree}-way bank conflict on __shared__ "
+                         f"{kind} {acc.array!r} (half warp serializes "
+                         f"over {banks} banks)"),
+                kernel=kernel_name, stage=stage, array=acc.array,
+                stmt=acc.stmt,
+                details={"degree": degree, "banks": banks}))
+    return diags
+
+
+def _worst_degree(acc: AccessInfo, block: Tuple[int, int],
+                  grid: Tuple[int, int],
+                  halfwarp: Sequence[Tuple[int, int]],
+                  banks: int) -> Optional[int]:
+    block_env: Dict[str, int] = {
+        "bdimx": block[0], "bdimy": block[1],
+        "gdimx": grid[0], "gdimy": grid[1], "bidx": 0, "bidy": 0,
+        "tidx": 0, "tidy": 0,
+    }
+    block_env.update(acc.sizes)
+    assignments = _iterator_assignments(acc, block_env)
+    bound = assignments[0].keys() if assignments else ()
+    free = _thread_local_loops(acc, tuple(bound))
+
+    worst: Optional[int] = None
+    for common in assignments[:_ASSIGN_CAP]:
+        addrs: List[int] = []
+        for (tx, ty) in halfwarp:
+            bind = thread_bindings(block, grid, tx, ty)
+            bind.update(acc.sizes)
+            bind.update(common)
+            for name in free:
+                # thread-dependent copy-loop iterator: take its first
+                # value for this thread (one representative issue)
+                info = acc.loop(name)
+                vals = (loop_values(info, bind, acc.term_defs, cap=1,
+                                    env=acc.env_forms)
+                        if info is not None else None)
+                if vals is None or not vals.values:
+                    break
+                bind[name] = vals.values[0]
+            else:
+                active = True
+                for g in acc.guards:
+                    truth = eval_guard(g, bind, acc.term_defs,
+                                       acc.env_forms)
+                    if truth is False:
+                        active = False
+                        break
+                if not active:
+                    continue
+                addr = linear_address(acc, bind)
+                if addr is not None:
+                    addrs.append(addr)
+        if len(addrs) >= 2:
+            degree = bank_serialization(addrs, banks)
+            if worst is None or degree > worst:
+                worst = degree
+    return worst

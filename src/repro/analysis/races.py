@@ -1,0 +1,203 @@
+"""Shared-memory race detection over barrier-delimited phases.
+
+Two shared accesses race when (1) no barrier orders them — they share a
+canonical phase from :mod:`repro.analysis.phases` — and (2) two *distinct*
+threads of the block touch the same element with at least one write.
+
+The detector enumerates the block's threads concretely and builds, per
+(phase, array) group containing a store, the address→threads relation of
+writers and readers.  Loop iterators are handled two ways:
+
+* iterators of *phased* loops (loops stepped by an unconditional barrier,
+  e.g. the tiled ``for (i = 0; i < w; i += 16)`` main loop or the
+  reduction tree's ``st`` loop) hold a **common** value across the block
+  within one phase, so the detector fixes one assignment at a time —
+  without this the reduction tree ``sdata[tidx] += sdata[tidx + st]``
+  under ``if (tidx < st)`` would be a sea of false positives;
+* all other (*free*) loop iterators are enumerated independently per
+  access, since a barrier-free loop lets threads drift apart.
+
+Guard conditions are evaluated concretely per thread; a guard that cannot
+be evaluated is conservatively treated as taken.  The phase abstraction
+compares different iterations of a phased loop only at equal iterator
+values, so cross-iteration races that a *present* trailing barrier
+prevents are exactly the ones re-detected when that barrier is removed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.concrete import (
+    Coverage,
+    block_threads,
+    iter_access_bindings,
+    linear_address,
+    loop_values,
+    thread_bindings,
+)
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.phases import PhaseSlicing, slice_phases
+from repro.ir.access import AccessInfo, LoopInfo, collect_accesses
+from repro.lang.astnodes import Kernel
+
+Thread = Tuple[int, int]
+
+_THREAD_CAP = 512       # max threads enumerated per block
+_LOOP_CAP = 8           # samples per loop level
+_COMMON_CAP = 64        # max common phased-iterator assignments per group
+
+
+def _phased_loops(group: Sequence[AccessInfo],
+                  slicing: PhaseSlicing) -> List[LoopInfo]:
+    """Phased-loop infos enclosing any access of the group, outermost
+    first, deduplicated by iterator name."""
+    seen: Dict[str, LoopInfo] = {}
+    order: List[str] = []
+    for acc in group:
+        for info in acc.loops:
+            if info.stmt is not None and slicing.is_phased_loop(info.stmt) \
+                    and info.name not in seen:
+                seen[info.name] = info
+                order.append(info.name)
+    return [seen[n] for n in order]
+
+
+def _common_assignments(loops: Sequence[LoopInfo],
+                        base: Mapping[str, int],
+                        term_defs: Mapping[str, Tuple] = {},
+                        env: Mapping[str, object] = {}
+                        ) -> Optional[List[Dict[str, int]]]:
+    """Sampled joint assignments of the phased iterators, or ``None`` if
+    any phased loop cannot be evaluated without thread ids (a
+    thread-dependent barrier loop — divergence reports that instead)."""
+    out: List[Dict[str, int]] = [{}]
+    for info in loops:
+        nxt: List[Dict[str, int]] = []
+        for partial in out:
+            scope = dict(base)
+            scope.update(partial)
+            vals = loop_values(info, scope, term_defs, cap=_LOOP_CAP,
+                               env=env)
+            if vals is None:
+                return None
+            for v in vals.values:
+                combo = dict(partial)
+                combo[info.name] = v
+                nxt.append(combo)
+                if len(nxt) >= _COMMON_CAP:
+                    break
+            if len(nxt) >= _COMMON_CAP:
+                break
+        out = nxt if nxt else [{}]
+    return out
+
+
+def check_races(kernel: Kernel, sizes: Mapping[str, int],
+                block: Tuple[int, int], grid: Tuple[int, int] = (1, 1),
+                *, kernel_name: str = "", stage: str = "",
+                slicing: Optional[PhaseSlicing] = None,
+                accesses: Optional[Sequence[AccessInfo]] = None
+                ) -> List[Diagnostic]:
+    """Detect same-phase WW / RW conflicts on ``__shared__`` arrays."""
+    if slicing is None:
+        slicing = slice_phases(kernel)
+    if accesses is None:
+        accesses = collect_accesses(kernel, sizes)
+    shared = [a for a in accesses if a.space == "shared"]
+    if not shared:
+        return []
+
+    groups: Dict[Tuple[int, str], List[AccessInfo]] = {}
+    for acc in shared:
+        key = (slicing.phase_of(acc.stmt), acc.array)
+        groups.setdefault(key, []).append(acc)
+
+    threads = block_threads(block, cap=_THREAD_CAP)
+    diags: List[Diagnostic] = []
+    for (phase, array), group in sorted(groups.items()):
+        if not any(a.is_store for a in group):
+            continue
+        diags.extend(_check_group(group, array, slicing, block, grid,
+                                  threads, kernel_name, stage))
+    return diags
+
+
+def _check_group(group: Sequence[AccessInfo], array: str,
+                 slicing: PhaseSlicing, block: Tuple[int, int],
+                 grid: Tuple[int, int], threads: Sequence[Thread],
+                 kernel_name: str, stage: str) -> List[Diagnostic]:
+    phased = _phased_loops(group, slicing)
+    phased_names = tuple(info.name for info in phased)
+    block_env: Dict[str, int] = {
+        "bdimx": block[0], "bdimy": block[1],
+        "gdimx": grid[0], "gdimy": grid[1], "bidx": 0, "bidy": 0,
+    }
+    block_env.update(group[0].sizes)
+    assignments = _common_assignments(phased, block_env,
+                                      group[0].term_defs,
+                                      group[0].env_forms)
+    if assignments is None:
+        return []  # thread-dependent phased loop; divergence reports it
+
+    reported: Set[str] = set()
+    diags: List[Diagnostic] = []
+    for common in assignments:
+        writers: Dict[int, Set[Thread]] = {}
+        readers: Dict[int, Set[Thread]] = {}
+        w_stmt: Dict[int, AccessInfo] = {}
+        r_stmt: Dict[int, AccessInfo] = {}
+        for acc in group:
+            for (tx, ty) in threads:
+                base = thread_bindings(block, grid, tx, ty)
+                base.update(common)
+                cov = Coverage()
+                for bind in iter_access_bindings(
+                        acc, base, cov, loop_cap=_LOOP_CAP,
+                        skip_loops=phased_names):
+                    addr = linear_address(acc, bind)
+                    if addr is None:
+                        continue
+                    if acc.is_store:
+                        writers.setdefault(addr, set()).add((tx, ty))
+                        w_stmt.setdefault(addr, acc)
+                    else:
+                        readers.setdefault(addr, set()).add((tx, ty))
+                        r_stmt.setdefault(addr, acc)
+
+        for addr, wset in sorted(writers.items()):
+            if "ww" not in reported and len(wset) > 1:
+                reported.add("ww")
+                a, b = sorted(wset)[:2]
+                diags.append(Diagnostic(
+                    analysis="races", severity=Severity.ERROR,
+                    message=(f"write-write race on __shared__ "
+                             f"{array}[{addr}]: threads {a} and {b} both "
+                             f"store it in the same barrier phase"),
+                    kernel=kernel_name, stage=stage, array=array,
+                    stmt=w_stmt[addr].stmt,
+                    details={"address": addr, "threads": [list(a), list(b)],
+                             "kind": "write-write",
+                             "iterators": dict(common)}))
+            rset = readers.get(addr)
+            if "rw" not in reported and rset:
+                others = rset - wset
+                if others:
+                    diags.append(Diagnostic(
+                        analysis="races", severity=Severity.ERROR,
+                        message=(f"read-write race on __shared__ "
+                                 f"{array}[{addr}]: thread "
+                                 f"{sorted(wset)[0]} stores it while thread "
+                                 f"{sorted(others)[0]} reads it with no "
+                                 f"barrier between"),
+                        kernel=kernel_name, stage=stage, array=array,
+                        stmt=r_stmt[addr].stmt,
+                        details={"address": addr,
+                                 "writer": list(sorted(wset)[0]),
+                                 "reader": list(sorted(others)[0]),
+                                 "kind": "read-write",
+                                 "iterators": dict(common)}))
+                    reported.add("rw")
+        if {"ww", "rw"} <= reported:
+            break
+    return diags

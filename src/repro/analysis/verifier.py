@@ -1,0 +1,77 @@
+"""Orchestration of the static kernel analyses.
+
+:func:`verify_kernel` runs the race, divergence, bounds and bank checks
+over one (kernel, sizes, launch) triple and merges their findings into a
+single :class:`~repro.analysis.diagnostics.DiagnosticReport`; the phase
+slicing and access collection are computed once and shared.
+:func:`verify_compiled` adapts a :class:`~repro.compiler.CompiledKernel`
+— using its *halved* size bindings so ``float2`` extents are checked as
+the transformed kernel sees them, and its planned launch configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.analysis.banks import check_banks
+from repro.analysis.bounds import check_bounds
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.divergence import check_divergence
+from repro.analysis.phases import slice_phases
+from repro.analysis.races import check_races
+from repro.ir.access import collect_accesses
+from repro.lang.astnodes import Kernel
+from repro.machine import GpuSpec
+
+
+@dataclass(frozen=True)
+class VerifyOptions:
+    """Which analyses to run (all by default)."""
+
+    races: bool = True
+    divergence: bool = True
+    bounds: bool = True
+    banks: bool = True
+
+
+def verify_kernel(kernel: Kernel, sizes: Mapping[str, int],
+                  block: Tuple[int, int], grid: Tuple[int, int] = (1, 1),
+                  *, machine: Optional[GpuSpec] = None,
+                  kernel_name: str = "", stage: str = "",
+                  options: Optional[VerifyOptions] = None
+                  ) -> DiagnosticReport:
+    """Run every enabled analysis on one kernel under one launch."""
+    options = options or VerifyOptions()
+    name = kernel_name or kernel.name
+    report = DiagnosticReport()
+    slicing = slice_phases(kernel)
+    accesses = collect_accesses(kernel, sizes)
+    if options.divergence:
+        report.extend(check_divergence(kernel, kernel_name=name,
+                                       stage=stage))
+    if options.races:
+        report.extend(check_races(kernel, sizes, block, grid,
+                                  kernel_name=name, stage=stage,
+                                  slicing=slicing, accesses=accesses))
+    if options.bounds:
+        report.extend(check_bounds(kernel, sizes, block, grid,
+                                   kernel_name=name, stage=stage,
+                                   accesses=accesses))
+    if options.banks:
+        report.extend(check_banks(kernel, sizes, block, grid,
+                                  kernel_name=name, stage=stage,
+                                  machine=machine, accesses=accesses))
+    return report
+
+
+def verify_compiled(compiled, stage: str = "",
+                    options: Optional[VerifyOptions] = None
+                    ) -> DiagnosticReport:
+    """Verify a compiled kernel under its planned launch configuration."""
+    config = compiled.config
+    return verify_kernel(
+        compiled.kernel, compiled.size_bindings(),
+        block=tuple(config.block), grid=tuple(config.grid),
+        machine=compiled.ctx.machine, kernel_name=compiled.name,
+        stage=stage, options=options)

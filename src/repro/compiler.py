@@ -64,6 +64,10 @@ class CompileOptions:
     # Section 4.1: the compiler tries 128 / 256 / 512 threads per block.
     target_threads: int = 256
 
+    # Run the static verifier (repro.analysis) on the transformed kernel:
+    # error findings raise PassError, warnings join the decision trace.
+    verify: bool = False
+
 
 def uses_global_sync(kernel: Kernel) -> bool:
     return any(isinstance(s, SyncStmt) and s.scope == "global"
@@ -226,10 +230,22 @@ def _compile_once(naive: Kernel, sizes: Dict[str, int],
     launch = LaunchPass()
     launch.run(ctx)
     check_kernel(ctx.kernel, mode="optimized")
-    return CompiledKernel(
+    compiled = CompiledKernel(
         name=ctx.kernel.name, kernel=ctx.kernel, config=launch.plan.config,
         plan=launch.plan, ctx=ctx, merge_plan=merge_plan,
         source=print_kernel(ctx.kernel))
+
+    # -- stage 9: optional static verification --------------------------------
+    if options.verify:
+        from repro.analysis import verify_compiled
+        report = verify_compiled(compiled)
+        for diag in report.warnings + report.infos:
+            ctx.note(f"verify: {diag.render()}")
+        if report.has_errors:
+            raise PassError(
+                "static verification failed:\n"
+                + report.render(min_severity=report.errors[0].severity))
+    return compiled
 
 
 # ---------------------------------------------------------------------------

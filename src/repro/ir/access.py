@@ -80,6 +80,11 @@ class AccessInfo:
     term_defs: Dict[str, Tuple[Expr, int]] = field(default_factory=dict)
     # Size-parameter bindings, needed to evaluate term_defs expressions.
     sizes: Dict[str, int] = field(default_factory=dict)
+    # Affine definitions of local ints in scope at the access point
+    # (e.g. ``pos = bidx*8192 + j*256 + tidx``), so guard expressions that
+    # mention them stay evaluable.  Fully substituted: their terms are only
+    # predefined ids, loop iterators, '@' terms and constants.
+    env_forms: Dict[str, "AffineExpr"] = field(default_factory=dict)
 
     @property
     def is_load(self) -> bool:
@@ -359,7 +364,7 @@ class _Collector:
             is_store=is_store, dims=dims, index_forms=index_forms,
             address=address, loops=tuple(self._loops),
             guards=tuple(self._guards), term_defs=self._term_defs,
-            sizes=self._sizes))
+            sizes=self._sizes, env_forms=dict(self._env)))
 
     def _try_affine(self, expr: Optional[Expr]) -> Optional[AffineExpr]:
         if expr is None:

@@ -46,6 +46,11 @@ class SemanticError(Exception):
     """Raised when a kernel violates the language contract."""
 
 
+#: Barrier spellings; as statements the parser lowers them to SyncStmt.
+_SYNC_NAMES = frozenset(
+    {"__syncthreads", "syncthreads", "__global_sync", "__gpu_sync"})
+
+
 class SemanticChecker:
     """Validates one kernel; collects all errors before raising."""
 
@@ -138,6 +143,19 @@ class SemanticChecker:
         if stmt.shared and self._mode == "naive":
             self._errors.append(
                 f"naive kernels must not declare __shared__ ({stmt.name!r})")
+        if stmt.shared and self._mode == "optimized":
+            # Shared memory is allocated per block at launch: its extents
+            # must be compile-time-constant positive ints (the passes
+            # always emit literal tile shapes).
+            for d in stmt.dims:
+                if not isinstance(d, int):
+                    self._errors.append(
+                        f"__shared__ array {stmt.name!r} extent {d!r} is "
+                        f"not a compile-time constant")
+                elif d <= 0:
+                    self._errors.append(
+                        f"__shared__ array {stmt.name!r} extent {d} is "
+                        f"not positive")
         if bi.is_predefined(stmt.name):
             self._errors.append(f"{stmt.name!r} shadows a predefined id")
         if stmt.init is not None:
@@ -208,7 +226,14 @@ class SemanticChecker:
             self._check_expr(expr.then)
             self._check_expr(expr.otherwise)
         elif isinstance(expr, Call):
-            if not bi.is_builtin_function(expr.name):
+            if expr.name in _SYNC_NAMES:
+                # The parser turns well-formed barrier statements into
+                # SyncStmt; a Call node here is an AST-constructed barrier.
+                if expr.args:
+                    self._errors.append(
+                        f"{expr.name} takes no arguments "
+                        f"({len(expr.args)} given)")
+            elif not bi.is_builtin_function(expr.name):
                 self._errors.append(f"unknown function {expr.name!r}")
             for a in expr.args:
                 self._check_expr(a)

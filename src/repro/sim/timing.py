@@ -12,7 +12,7 @@ degree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.ir.access import AccessInfo, collect_accesses
 from repro.ir.segments import HALF_WARP, segments_for_halfwarp
@@ -273,29 +273,40 @@ def _expr_alu_ops(expr: Expr, address_weight: float = 0.25) -> float:
     return 0.0
 
 
+def bank_serialization(addrs: Sequence[int], banks: int) -> int:
+    """Serialization degree of one half-warp shared-memory instruction.
+
+    ``addrs`` are the element addresses issued by the active threads of a
+    half warp.  A fully-uniform address is a broadcast and conflict-free;
+    otherwise the degree is the deepest pile-up on any one of the
+    ``banks`` interleaved banks (GT200: 16 banks, 32-bit wide).
+    """
+    distinct = set(addrs)
+    if len(distinct) <= 1:
+        return 1  # broadcast (or a lone active thread) is conflict-free
+    hits: Dict[int, int] = {}
+    for addr in addrs:
+        bank = addr % banks
+        hits[bank] = hits.get(bank, 0) + 1
+    return max(hits.values())
+
+
 def _bank_conflict_degree(access: AccessInfo, machine: GpuSpec,
                           config: LaunchConfig) -> int:
     """Serialization factor of a shared access across a half warp."""
     if not access.resolved:
         return 1
-    banks = machine.shared_banks
     bindings = _sample_bindings(access, config)
-    hits: Dict[int, int] = {}
-    distinct = set()
+    addrs = []
     for t in range(HALF_WARP):
         bind = dict(bindings)
         bind["tidx"] = t
         bind["idx"] = bind.get("bidx", 0) * config.block[0] + t
         try:
-            addr = access.eval_address(bind)
+            addrs.append(access.eval_address(bind))
         except (KeyError, ZeroDivisionError):
             return 1
-        distinct.add(addr)
-        bank = addr % banks
-        hits[bank] = hits.get(bank, 0) + 1
-    if len(distinct) == 1:
-        return 1  # broadcast is conflict-free
-    return max(hits.values())
+    return bank_serialization(addrs, machine.shared_banks)
 
 
 def analyze_kernel(kernel: Kernel, sizes: Mapping[str, int],

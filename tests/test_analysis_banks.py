@@ -1,0 +1,90 @@
+"""Bank-conflict lint (repro.analysis.banks) and the shared bank model."""
+
+from repro.analysis.banks import check_banks
+from repro.lang.parser import parse_kernel
+from repro.sim.timing import bank_serialization
+
+
+def banks(src, sizes, block, grid=(1, 1)):
+    return check_banks(parse_kernel(src), sizes, block, grid)
+
+
+class TestBankModel:
+    def test_conflict_free_stride_one(self):
+        assert bank_serialization(list(range(16)), 16) == 1
+
+    def test_broadcast_exempt(self):
+        assert bank_serialization([7] * 16, 16) == 1
+
+    def test_full_serialization(self):
+        assert bank_serialization([i * 16 for i in range(16)], 16) == 16
+
+    def test_stride_four(self):
+        assert bank_serialization([i * 4 for i in range(16)], 16) == 4
+
+
+class TestSeededConflicts:
+    def test_unpadded_transpose_tile_warns(self):
+        src = """
+        __global__ void f(float a[n][n], int n) {
+            __shared__ float t[16][16];
+            t[tidy][tidx] = a[idy][idx];
+            __syncthreads();
+            a[idy][idx] = t[tidx][tidy];
+        }
+        """
+        diags = banks(src, {"n": 64}, block=(16, 16), grid=(4, 4))
+        assert len(diags) == 1
+        assert diags[0].severity.name == "WARNING"
+        assert diags[0].details["degree"] == 16
+
+    def test_stride_four_warns(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            __shared__ float s[64];
+            s[4 * tidx] = a[idx];
+            __syncthreads();
+            a[idx] = s[4 * tidx];
+        }
+        """
+        diags = banks(src, {"n": 64}, block=(16, 1), grid=(4, 1))
+        assert diags and all(d.details["degree"] == 4 for d in diags)
+
+
+class TestCleanAccesses:
+    def test_padded_transpose_tile_is_clean(self):
+        src = """
+        __global__ void f(float a[n][n], int n) {
+            __shared__ float t[16][17];
+            t[tidy][tidx] = a[idy][idx];
+            __syncthreads();
+            a[idy][idx] = t[tidx][tidy];
+        }
+        """
+        assert banks(src, {"n": 64}, block=(16, 16), grid=(4, 4)) == []
+
+    def test_broadcast_read_is_clean(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            __shared__ float s[16];
+            s[tidx] = a[idx];
+            __syncthreads();
+            a[idx] = s[0] + s[tidx];
+        }
+        """
+        assert banks(src, {"n": 64}, block=(16, 1), grid=(4, 1)) == []
+
+    def test_loop_indexed_broadcast_is_clean(self):
+        # s[k] with warp-common k is a broadcast each issue.
+        src = """
+        __global__ void f(float a[n], int n) {
+            __shared__ float s[16];
+            s[tidx] = a[idx];
+            __syncthreads();
+            float acc = 0;
+            for (int k = 0; k < 16; k = k + 1)
+                acc += s[k];
+            a[idx] = acc;
+        }
+        """
+        assert banks(src, {"n": 64}, block=(16, 1), grid=(4, 1)) == []

@@ -1,0 +1,123 @@
+"""Shared-memory race detection (repro.analysis.races)."""
+
+import pytest
+
+from repro.analysis import verify_kernel
+from repro.analysis.races import check_races
+from repro.compiler import compile_stages
+from repro.kernels.suite import ALGORITHMS
+from repro.lang.astnodes import SyncStmt, child_stmt_lists
+from repro.lang.parser import parse_kernel
+
+
+def remove_one_sync(stmts):
+    """Delete the first __syncthreads() found; returns True if removed."""
+    for i, s in enumerate(stmts):
+        if isinstance(s, SyncStmt):
+            del stmts[i]
+            return True
+        for sub in child_stmt_lists(s):
+            if remove_one_sync(sub):
+                return True
+    return False
+
+
+def compiled_mm_coalesce():
+    alg = ALGORITHMS["mm"]
+    sizes = alg.sizes(alg.test_scale)
+    return compile_stages(alg.source, sizes, alg.domain(sizes))["+coalesce"]
+
+
+class TestSeededRaces:
+    def test_dropped_sync_is_a_race(self):
+        ck = compiled_mm_coalesce()
+        mutated = ck.kernel.clone()
+        assert remove_one_sync(mutated.body)
+        report = verify_kernel(mutated, ck.size_bindings(),
+                               block=tuple(ck.config.block),
+                               grid=tuple(ck.config.grid))
+        race_errors = [d for d in report.errors if d.analysis == "races"]
+        assert race_errors, "removing a barrier must produce a race"
+        assert race_errors[0].array == "shared0"
+        assert "race" in race_errors[0].message
+
+    def test_write_write_race(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            __shared__ float s[16];
+            s[tidx / 2] = a[idx];
+            __syncthreads();
+            a[idx] = s[tidx / 2];
+        }
+        """
+        diags = check_races(parse_kernel(src), {"n": 64}, block=(16, 1))
+        assert any(d.details.get("kind") == "write-write" for d in diags)
+
+    def test_read_write_race_without_barrier(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            __shared__ float s[16];
+            s[tidx] = a[idx];
+            a[idx] = s[15 - tidx];
+        }
+        """
+        diags = check_races(parse_kernel(src), {"n": 64}, block=(16, 1))
+        assert any(d.details.get("kind") == "read-write" for d in diags)
+
+
+class TestCleanKernels:
+    def test_compiled_mm_coalesce_is_race_free(self):
+        ck = compiled_mm_coalesce()
+        report = verify_kernel(ck.kernel, ck.size_bindings(),
+                               block=tuple(ck.config.block),
+                               grid=tuple(ck.config.grid))
+        assert not [d for d in report.errors if d.analysis == "races"]
+
+    def test_barrier_separates_phases(self):
+        src = """
+        __global__ void f(float a[n], int n) {
+            __shared__ float s[16];
+            s[tidx] = a[idx];
+            __syncthreads();
+            a[idx] = s[15 - tidx];
+        }
+        """
+        diags = check_races(parse_kernel(src), {"n": 64}, block=(16, 1))
+        assert diags == []
+
+    def test_reduction_tree_is_race_free(self):
+        # The barrier-stepped tree: within one phase st is common to all
+        # threads, and the tidx < st guard keeps readers off the writers.
+        src = """
+        __global__ void f(float a[n], float out[1], int n) {
+            __shared__ float s[16];
+            s[tidx] = a[idx];
+            __syncthreads();
+            for (int st = 8; st > 0; st = st / 2) {
+                if (tidx < st)
+                    s[tidx] += s[tidx + st];
+                __syncthreads();
+            }
+            if (tidx == 0)
+                out[0] = s[0];
+        }
+        """
+        diags = check_races(parse_kernel(src), {"n": 16}, block=(16, 1))
+        assert diags == []
+
+    def test_reduction_tree_without_loop_barrier_races(self):
+        src = """
+        __global__ void f(float a[n], float out[1], int n) {
+            __shared__ float s[16];
+            s[tidx] = a[idx];
+            __syncthreads();
+            for (int st = 8; st > 0; st = st / 2) {
+                if (tidx < st)
+                    s[tidx] += s[tidx + st];
+            }
+            if (tidx == 0)
+                out[0] = s[0];
+        }
+        """
+        diags = check_races(parse_kernel(src), {"n": 16}, block=(16, 1))
+        assert any(d.severity.name == "ERROR" for d in diags)

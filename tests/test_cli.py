@@ -56,3 +56,64 @@ class TestCli:
     def test_bad_size_argument(self, kernel_file):
         with pytest.raises(SystemExit):
             main([kernel_file, "--size", "nonsense", "--domain", "64x64"])
+
+    def test_pass_error_exits_nonzero(self, tmp_path, capsys):
+        # __global_sync kernels are rejected by compile_kernel with a
+        # PassError; the CLI must turn that into exit code 1 on stderr,
+        # not a traceback.
+        path = tmp_path / "rd.cu"
+        path.write_text("""
+#pragma output a
+__global__ void rd(float a[n], int n) {
+    for (int s = n / 2; s > 0; s = s / 2) {
+        if (idx < s)
+            a[idx] += a[idx + s];
+        __global_sync();
+    }
+}
+""")
+        code = main([str(path), "--size", "n=4096", "--domain", "4096"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_semantic_error_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.cu"
+        path.write_text(
+            "__global__ void f(float a[n], int n) { a[idx] = q; }")
+        code = main([str(path), "--size", "n=64", "--domain", "64"])
+        assert code == 1
+        assert "undeclared" in capsys.readouterr().err
+
+    def test_verify_flag(self, kernel_file, capsys):
+        code, out = run_cli(capsys, kernel_file,
+                            "--size", "n=64", "--size", "m=64",
+                            "--size", "w=64", "--domain", "64x64",
+                            "--verify", "--quiet")
+        assert code == 0
+        assert "__global__ void mm" in out
+
+
+class TestLintCli:
+    def test_lint_single_kernel_stage(self, capsys):
+        code, out = run_cli(capsys, "lint", "mm", "--stage", "coalesce")
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_lint_json_output(self, capsys):
+        import json
+        code, out = run_cli(capsys, "lint", "mm", "--stage", "naive",
+                            "--json")
+        assert code == 0
+        assert json.loads(out) == []
+
+    def test_lint_unknown_kernel(self, capsys):
+        code = main(["lint", "nosuchkernel"])
+        assert code == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_lint_reduction_path(self, capsys):
+        code, out = run_cli(capsys, "lint", "rd")
+        assert code == 0
+        assert "0 error(s)" in out

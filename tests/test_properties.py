@@ -11,6 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.compiler import CompileOptions, compile_kernel
+from repro.kernels.suite import ALGORITHMS
 from repro.lang.parser import parse_kernel
 from repro.machine import GTX280, GTX8800
 from repro.passes.base import PassError
@@ -112,6 +113,39 @@ class TestInterpreterArithmetic:
             {"a": a, "out": out})
         assert out[0] == pytest.approx(float(a.sum()), rel=1e-4,
                                        abs=1e-3)
+
+
+class TestPrinterRoundTrip:
+    """printer output must re-parse and pass the optimized-mode semantic
+    checker at every stage -- the verifier walks these same ASTs."""
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(n for n, a in ALGORITHMS.items()
+               if not a.uses_global_sync))
+    def test_every_stage_reparses_and_rechecks(self, name):
+        from repro.compiler import compile_stages
+        from repro.lang.printer import print_kernel
+        from repro.lang.semantic import check_kernel
+
+        alg = ALGORITHMS[name]
+        sizes = alg.sizes(alg.test_scale)
+        for stage, ck in compile_stages(alg.source, sizes,
+                                        alg.domain(sizes)).items():
+            text = print_kernel(ck.kernel)
+            reparsed = parse_kernel(text)
+            check_kernel(reparsed, mode="optimized")
+            assert print_kernel(reparsed) == text, f"{name} {stage}"
+
+    def test_reduction_stages_reparse_and_recheck(self):
+        from repro.lang.semantic import check_kernel
+        from repro.reduction import compile_reduction
+
+        alg = ALGORITHMS["rd"]
+        sizes = alg.sizes(alg.test_scale)
+        compiled = compile_reduction(alg.source, sizes["n"])
+        for text in (compiled.stage1_source, compiled.stage2_source):
+            check_kernel(parse_kernel(text), mode="optimized")
 
 
 class TestEstimateInvariants:

@@ -112,6 +112,52 @@ class TestSemanticNaiveMode:
         check(src)
 
 
+class TestSemanticOptimizedMode:
+    """Optimized-mode rules the static verifier relies on: constant
+    __shared__ extents and argument-free barriers."""
+
+    def _shared_kernel(self, extent):
+        return """
+        __global__ void f(float a[n], int n) {
+            __shared__ float s[%s];
+            s[tidx] = a[idx];
+            __syncthreads();
+            a[idx] = s[tidx];
+        }
+        """ % extent
+
+    def test_symbolic_shared_extent_rejected(self):
+        with pytest.raises(SemanticError,
+                           match="not a compile-time constant"):
+            check(self._shared_kernel("n"), mode="optimized")
+
+    def test_zero_shared_extent_rejected(self):
+        with pytest.raises(SemanticError, match="not positive"):
+            check(self._shared_kernel("0"), mode="optimized")
+
+    def test_constant_shared_extent_accepted(self):
+        check(self._shared_kernel("16"), mode="optimized")
+
+    def test_syncthreads_with_arguments_rejected(self):
+        # The parser lowers well-formed barrier statements to SyncStmt;
+        # a Call node with arguments can only come from a transform bug,
+        # which is exactly what the checker must catch.
+        from repro.lang.astnodes import Call, ExprStmt, IntLit
+
+        kernel = parse_kernel(self._shared_kernel("16"))
+        kernel.body.insert(2, ExprStmt(Call("__syncthreads", [IntLit(1)])))
+        with pytest.raises(SemanticError,
+                           match=r"takes no arguments \(1 given\)"):
+            check_kernel(kernel, mode="optimized")
+
+    def test_bare_sync_call_node_accepted(self):
+        from repro.lang.astnodes import Call, ExprStmt
+
+        kernel = parse_kernel(self._shared_kernel("16"))
+        kernel.body.insert(2, ExprStmt(Call("__syncthreads", [])))
+        check_kernel(kernel, mode="optimized")
+
+
 class TestSimplify:
     def _expr(self, text):
         src = f"__global__ void f(int n) {{ int q = {text}; }}"
