@@ -1,4 +1,4 @@
-"""Command-line interface: compile a naive kernel file, or lint the suite.
+"""Command-line interface: compile a kernel, lint the suite, or fuzz.
 
 Usage::
 
@@ -8,12 +8,20 @@ Usage::
 
     python -m repro lint [KERNEL ...] [--stage STAGE] [--scale N] [--json]
 
+    python -m repro fuzz [--seed N] [--count M] [--stages S1,S2] [--json]
+
 The first form prints the optimized kernel, the launch configuration, the
 compiler's decision log, and the analytic performance estimate; with
 ``--verify`` the static analyses (races / divergence / bounds / banks) run
 on the result and error findings abort compilation. The ``lint`` form runs
-those analyses over suite kernels at every pipeline stage and exits
-non-zero if any error-severity diagnostic is found.
+those analyses over suite kernels at every pipeline stage; the ``fuzz``
+form differentially tests generated naive kernels against the functional
+interpreter (see :mod:`repro.fuzz`).
+
+All subcommands share one convention: exit code 0 = clean, 1 = findings
+(lint errors / fuzz divergences / compile failure), 2 = usage error, and
+``--json`` emits a single versioned envelope object (``repro.lint/1`` /
+``repro.fuzz/1``) documented in the README.
 """
 
 from __future__ import annotations
@@ -74,6 +82,9 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import fuzz_main
+        return fuzz_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -197,17 +208,29 @@ def lint_main(argv=None) -> int:
             checked += 1
             diagnostics.extend(report)
 
-    if args.as_json:
-        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
-    elif not args.quiet:
-        for d in diagnostics:
-            print(d.render())
     errors = [d for d in diagnostics if d.severity is Severity.ERROR]
     warnings = [d for d in diagnostics if d.severity is Severity.WARNING]
-    if not args.as_json:
-        print(f"lint: {checked} kernel stage(s) checked, "
-              f"{len(errors)} error(s), {len(warnings)} warning(s)")
-    return 1 if errors or failed_compiles else 0
+    exit_code = 1 if errors or failed_compiles else 0
+    if args.as_json:
+        print(json.dumps({
+            "schema": "repro.lint/1",
+            "command": "lint",
+            "exit_code": exit_code,
+            "summary": {
+                "checked": checked,
+                "errors": len(errors),
+                "warnings": len(warnings),
+                "failed_compiles": failed_compiles,
+            },
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        }, indent=2))
+        return exit_code
+    if not args.quiet:
+        for d in diagnostics:
+            print(d.render())
+    print(f"lint: {checked} kernel stage(s) checked, "
+          f"{len(errors)} error(s), {len(warnings)} warning(s)")
+    return exit_code
 
 
 def _lint_reduction(alg, sizes, mach, verify_kernel):

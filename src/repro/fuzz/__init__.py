@@ -1,0 +1,47 @@
+"""Differential kernel fuzzing (generator -> stage oracle -> reducer).
+
+The hand-written Table 1 suite exercises ten fixed kernels; this package
+turns the pipeline's correctness story into a *property*: for any
+well-typed naive kernel, every cumulative optimization stage must
+
+* produce bit-identical outputs to a direct interpretation of the naive
+  kernel (inputs are integer-valued floats, so float arithmetic is exact
+  and reassociation cannot hide behind rounding);
+* stay clean under the static verifier (no error-severity findings);
+* print to source that re-parses, re-checks, and re-interprets to the
+  same outputs (printer round-trip at every stage, not just the seed).
+
+:mod:`repro.fuzz.grammar` generates random naive kernels biased toward
+the access shapes the staging strategies dispatch on (Section 3.3);
+:mod:`repro.fuzz.oracle` runs the differential check;
+:mod:`repro.fuzz.reduce` shrinks failing kernels to minimal reproducers;
+:mod:`repro.fuzz.corpus` persists cases under ``tests/corpus/`` so pytest
+replays every past failure as an ordinary regression test.
+"""
+
+from repro.fuzz.corpus import KernelCase, load_corpus, load_case, save_case
+from repro.fuzz.grammar import SHAPES, generate_case, generate_cases
+from repro.fuzz.oracle import (
+    CaseResult,
+    Divergence,
+    OracleOptions,
+    STAGE_NAMES,
+    run_case,
+)
+from repro.fuzz.reduce import reduce_case
+
+__all__ = [
+    "CaseResult",
+    "Divergence",
+    "KernelCase",
+    "OracleOptions",
+    "SHAPES",
+    "STAGE_NAMES",
+    "generate_case",
+    "generate_cases",
+    "load_case",
+    "load_corpus",
+    "reduce_case",
+    "run_case",
+    "save_case",
+]

@@ -1,0 +1,145 @@
+"""``python -m repro fuzz`` — drive the differential kernel fuzzer.
+
+Exit codes follow the repo-wide CLI convention (see README "CLI JSON
+output and exit codes"): 0 = clean, 1 = divergence found, 2 = usage
+error.  ``--json`` emits a single ``repro.fuzz/1`` envelope object.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.fuzz.corpus import save_case
+from repro.fuzz.grammar import SHAPES, generate_case
+from repro.fuzz.oracle import STAGE_NAMES, OracleOptions, run_case
+from repro.fuzz.reduce import reduce_case, source_lines
+from repro.machine import MACHINES, machine
+
+#: JSON envelope schema tag for fuzz runs.
+FUZZ_SCHEMA = "repro.fuzz/1"
+
+
+def _parse_stages(text: str) -> tuple:
+    """'all' or a comma list; accepts both 'coalesce' and '+coalesce'."""
+    if text == "all":
+        return STAGE_NAMES
+    stages = []
+    for token in text.split(","):
+        token = token.strip()
+        name = token if token in STAGE_NAMES else "+" + token
+        if name not in STAGE_NAMES:
+            raise argparse.ArgumentTypeError(
+                f"unknown stage {token!r}; choose from "
+                f"{', '.join(STAGE_NAMES)}")
+        stages.append(name)
+    return tuple(stages)
+
+
+def fuzz_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Differentially test the pipeline on generated "
+                    "naive kernels.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default 0)")
+    parser.add_argument("--count", type=int, default=100,
+                        help="number of kernels to generate (default 100)")
+    parser.add_argument("--shape", choices=sorted(SHAPES), default=None,
+                        help="restrict generation to one grammar production")
+    parser.add_argument("--stages", type=_parse_stages, default=STAGE_NAMES,
+                        metavar="S1,S2,...",
+                        help="cumulative stages to check (default: all); "
+                             "e.g. 'coalesce,merge' or '+partition'")
+    parser.add_argument("--machine", default="GTX280",
+                        choices=sorted(MACHINES))
+    parser.add_argument("--corpus-dir", default="tests/corpus",
+                        help="where reduced reproducers are written "
+                             "(default: tests/corpus)")
+    parser.add_argument("--no-reduce", action="store_true",
+                        help="report failures without shrinking them")
+    parser.add_argument("--no-write", action="store_true",
+                        help="do not persist reproducers to the corpus")
+    parser.add_argument("--max-reduce-attempts", type=int, default=250,
+                        help="oracle-run budget per reduction (default 250)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one repro.fuzz/1 JSON object")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the summary line")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+    if args.count <= 0:
+        print("error: --count must be positive", file=sys.stderr)
+        return 2
+
+    opts = OracleOptions(stages=args.stages, machine=machine(args.machine))
+    cases_json = []
+    counts = {"ok": 0, "rejected": 0, "divergent": 0}
+    divergent_names = []
+    for index in range(args.count):
+        case = generate_case(args.seed, index, shape=args.shape)
+        result = run_case(case, opts)
+        counts[result.status] += 1
+        entry = result.to_dict()
+        entry["lines"] = source_lines(case)
+        if result.status == "divergent":
+            divergent_names.append(case.name)
+            if not args.as_json and not args.quiet:
+                print(f"DIVERGENCE {case.name} ({case.origin})")
+                for d in result.divergences:
+                    print(f"  {d.render()}")
+            reduced = case
+            if not args.no_reduce:
+                reduced, spent = reduce_case(
+                    case, opts, max_attempts=args.max_reduce_attempts,
+                    base_result=result)
+                entry["reduced"] = {
+                    "source": reduced.source,
+                    "sizes": dict(reduced.sizes),
+                    "domain": list(reduced.domain),
+                    "lines": source_lines(reduced),
+                    "oracle_runs": spent,
+                }
+                if not args.as_json and not args.quiet:
+                    print(f"  reduced to {source_lines(reduced)} line(s) "
+                          f"in {spent} oracle run(s):")
+                    for line in reduced.source.rstrip().splitlines():
+                        print(f"    {line}")
+            if not args.no_write:
+                reduced.note = ("fuzzer-found divergence: "
+                                + "; ".join(d.render()
+                                            for d in result.divergences))
+                path = save_case(reduced, args.corpus_dir)
+                entry["corpus_path"] = path
+                if not args.as_json and not args.quiet:
+                    print(f"  wrote reproducer to {path}")
+        cases_json.append(entry)
+
+    exit_code = 1 if counts["divergent"] else 0
+    summary = {
+        "cases": args.count,
+        "seed": args.seed,
+        "stages": list(args.stages),
+        "ok": counts["ok"],
+        "rejected": counts["rejected"],
+        "divergent": counts["divergent"],
+    }
+    if args.as_json:
+        print(json.dumps({
+            "schema": FUZZ_SCHEMA,
+            "command": "fuzz",
+            "exit_code": exit_code,
+            "summary": summary,
+            "cases": cases_json,
+        }, indent=2))
+    else:
+        print(f"fuzz: {args.count} case(s) from seed {args.seed}: "
+              f"{counts['ok']} ok, {counts['rejected']} rejected, "
+              f"{counts['divergent']} divergent")
+        if divergent_names and args.quiet:
+            print("divergent: " + ", ".join(divergent_names))
+    return exit_code

@@ -1,0 +1,90 @@
+"""Persistent fuzz cases: one JSON file per kernel under ``tests/corpus/``.
+
+A corpus file is a self-contained reproduction: the naive kernel source,
+the size bindings, and the output domain.  Input data is *not* stored —
+the oracle derives it deterministically from the source text, so a case
+replays identically anywhere (see :func:`repro.fuzz.oracle.make_arrays`).
+
+Checked-in cases are expected to pass; when the fuzzer finds a
+divergence it writes the reduced reproducer here so the failure becomes
+a regression test the moment it is committed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Format tag written into every corpus file (bump on breaking changes).
+CASE_SCHEMA = "repro.case/1"
+
+
+@dataclass
+class KernelCase:
+    """One fuzz case: a naive kernel plus the bindings to compile it."""
+
+    name: str
+    source: str
+    sizes: Dict[str, int]
+    domain: Tuple[int, int]
+    origin: str = ""        # provenance, e.g. "seed=0 index=17 shape=colwalk"
+    note: str = ""          # free-form human comment
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": CASE_SCHEMA,
+            "name": self.name,
+            "source": self.source,
+            "sizes": dict(self.sizes),
+            "domain": list(self.domain),
+            "origin": self.origin,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "KernelCase":
+        schema = data.get("schema", CASE_SCHEMA)
+        if schema != CASE_SCHEMA:
+            raise ValueError(f"unsupported corpus schema {schema!r}")
+        domain = tuple(int(d) for d in data["domain"])
+        if len(domain) != 2:
+            raise ValueError(f"domain must be [x, y], got {data['domain']!r}")
+        return cls(name=str(data["name"]), source=str(data["source"]),
+                   sizes={k: int(v) for k, v in data["sizes"].items()},
+                   domain=domain, origin=str(data.get("origin", "")),
+                   note=str(data.get("note", "")))
+
+
+def load_case(path: str) -> KernelCase:
+    with open(path) as f:
+        return KernelCase.from_dict(json.load(f))
+
+
+def save_case(case: KernelCase, directory: str) -> str:
+    """Write ``case`` to ``directory`` (created if missing); returns path."""
+    os.makedirs(directory, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9_-]+", "-", case.name) or "case"
+    path = os.path.join(directory, f"{stem}.json")
+    # Never clobber an existing (possibly committed) reproducer.
+    n = 1
+    while os.path.exists(path):
+        path = os.path.join(directory, f"{stem}-{n}.json")
+        n += 1
+    with open(path, "w") as f:
+        json.dump(case.to_dict(), f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def load_corpus(directory: str) -> List[KernelCase]:
+    """Load every ``*.json`` case in ``directory``, sorted by file name."""
+    if not os.path.isdir(directory):
+        return []
+    cases = []
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".json"):
+            cases.append(load_case(os.path.join(directory, entry)))
+    return cases

@@ -1,0 +1,400 @@
+"""Grammar-based generation of random well-typed naive kernels.
+
+The generator builds kernel ASTs directly (then pretty-prints them), so
+every emitted case is well-formed by construction; a final
+``check_kernel(mode="naive")`` asserts the contract anyway.
+
+Productions are biased toward the access shapes the coalescing transform
+dispatches on (Section 3.3 / DESIGN.md "staging strategies"):
+
+===========  ==================================  =====================
+production   index shape emitted                  staging case
+===========  ==================================  =====================
+rowbcast     ``a[idy][i + c]``                    R (row broadcast)
+colwalk      ``a[idx][i + c]``                    C (column walk)
+transpose    ``a[idx][idy]``                      T (16x16 tile)
+stencil      ``a[idy + ki][idx + kj]``            S (apron)
+broadcast    ``b[i]`` over a small table          B (shared table)
+pairwise     ``a[2*idx]``, ``a[2*idx + 1]``       vectorization (3.1)
+elementwise  ``a[s*idx + c]``                     coalesced / unstaged
+guarded      parity-predicated stencil writes     S + divergent guards
+===========  ==================================  =====================
+
+Every kernel writes its outputs at the canonical ``(idx, idy)`` position
+(the paper's input contract) and is guaranteed in-bounds: each array
+extent is derived from the maximum value its index expressions can take
+over the domain and loop ranges.  Stencil-shaped inputs additionally pad
+the fastest dimension by ``STENCIL_PAD`` so staged apron chunks may
+overrun the right edge (same convention as the Table 1 suite).
+
+All numeric constants are small integers and generated input data is
+integer-valued (see :func:`repro.fuzz.oracle.make_arrays`), so float
+arithmetic is *exact* and the oracle can demand bit-identical outputs:
+a transformation that reassociates or drops work cannot hide behind
+rounding error.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.fuzz.corpus import KernelCase
+from repro.kernels.suite import STENCIL_PAD
+from repro.lang.astnodes import (
+    ArrayRef,
+    AssignStmt,
+    Binary,
+    Call,
+    DeclStmt,
+    Expr,
+    FloatLit,
+    ForStmt,
+    Ident,
+    IfStmt,
+    IntLit,
+    Kernel,
+    Param,
+    Stmt,
+)
+from repro.lang.printer import print_kernel
+from repro.lang.semantic import check_kernel
+from repro.lang.types import FLOAT, INT
+
+# Domain extents: X must stay a multiple of the half warp (the naive
+# contract assumes padded inputs that tile exactly).
+_X_EXTENTS = (16, 32, 48, 64)
+_Y_EXTENTS = (16, 32)
+_LOOP_EXTENTS = (4, 8, 16, 32)
+
+#: Cap on (domain cells) x (loop iterations) so one oracle run stays fast.
+_WORK_CAP = 12_000
+
+
+# ---------------------------------------------------------------------------
+# Small AST construction helpers
+# ---------------------------------------------------------------------------
+
+def _ref(name: str, *indices: Expr) -> ArrayRef:
+    return ArrayRef(Ident(name), list(indices))
+
+
+def _idx(coeff: int = 1, const: int = 0, name: str = "idx") -> Expr:
+    expr: Expr = Ident(name)
+    if coeff != 1:
+        expr = Binary("*", IntLit(coeff), expr)
+    if const:
+        expr = Binary("+", expr, IntLit(const))
+    return expr
+
+
+def _add(a: Expr, b: Expr) -> Expr:
+    return Binary("+", a, b)
+
+
+class _Builder:
+    """Accumulates params/sizes/body for one generated kernel."""
+
+    def __init__(self) -> None:
+        self.params: List[Param] = []
+        self.sizes: Dict[str, int] = {}
+        self.body: List[Stmt] = []
+
+    def size(self, hint: str, value: int) -> str:
+        """Bind ``value`` to an int size param, reusing equal bindings."""
+        if hint in self.sizes:
+            if self.sizes[hint] == value:
+                return hint
+            n = 0
+            while f"{hint}{n}" in self.sizes:
+                if self.sizes[f"{hint}{n}"] == value:
+                    return f"{hint}{n}"
+                n += 1
+            hint = f"{hint}{n}"
+        self.sizes[hint] = value
+        return hint
+
+    def array(self, name: str, hints: Tuple[str, ...],
+              extents: Tuple[int, ...]) -> str:
+        dims = [self.size(h, v) for h, v in zip(hints, extents)]
+        self.params.append(Param(FLOAT, name, dims))
+        return name
+
+    def finish(self, name: str, domain: Tuple[int, int],
+               origin: str) -> KernelCase:
+        params = self.params + [Param(INT, s) for s in sorted(self.sizes)]
+        kernel = Kernel(name=name, params=params, body=self.body)
+        check_kernel(kernel, mode="naive")
+        return KernelCase(name=name, source=print_kernel(kernel),
+                          sizes=dict(self.sizes), domain=domain,
+                          origin=origin)
+
+
+def _pick_domain(rng: random.Random, two_d: bool,
+                 loop_iters: int = 1) -> Tuple[int, int]:
+    """A domain whose total interpreted work stays under the cap."""
+    for _ in range(64):
+        dx = rng.choice(_X_EXTENTS)
+        dy = rng.choice(_Y_EXTENTS) if two_d else 1
+        if dx * dy * max(1, loop_iters) <= _WORK_CAP:
+            return (dx, dy)
+    return (16, 16 if two_d else 1)
+
+
+def _combine(rng: random.Random, terms: List[Expr]) -> Expr:
+    """Fold loaded terms with exact operators (+, -, *, fmaxf, fminf)."""
+    expr = terms[0]
+    for term in terms[1:]:
+        op = rng.choice(("+", "+", "-", "*", "fmaxf", "fminf"))
+        if op in ("fmaxf", "fminf"):
+            expr = Call(op, [expr, term])
+        else:
+            expr = Binary(op, expr, term)
+    if rng.random() < 0.25:
+        expr = Binary("*", FloatLit(float(rng.choice((2, 3)))), expr)
+    return expr
+
+
+def _acc_loop(rng: random.Random, builder: _Builder, bound_name: str,
+              payload: List[Stmt], iname: str = "i") -> ForStmt:
+    return ForStmt(
+        init=DeclStmt(INT, iname, init=IntLit(0)),
+        cond=Binary("<", Ident(iname), Ident(bound_name)),
+        update=AssignStmt(Ident(iname), "=",
+                          Binary("+", Ident(iname), IntLit(1))),
+        body=payload)
+
+
+# ---------------------------------------------------------------------------
+# Shape productions
+# ---------------------------------------------------------------------------
+
+def _gen_elementwise(rng: random.Random, b: _Builder) -> Tuple[int, int]:
+    """Coalesced or strided 1-D/2-D map: ``c[...] = f(a[...], b[...])``."""
+    two_d = rng.random() < 0.4
+    domain = _pick_domain(rng, two_d)
+    dx, dy = domain
+    terms: List[Expr] = []
+    for name in ("a", "b")[: rng.randint(1, 2)]:
+        stride = rng.choice((1, 1, 1, 2))
+        offset = rng.choice((0, 0, 1, 2))
+        ext_x = stride * (dx - 1) + offset + 1
+        if stride == 1 and offset:
+            ext_x += STENCIL_PAD  # apron staging may overrun the row
+        if two_d:
+            b.array(name, ("n", "em"), (dy, ext_x))
+            terms.append(_ref(name, Ident("idy"), _idx(stride, offset)))
+        else:
+            b.array(name, ("en",), (ext_x,))
+            terms.append(_ref(name, _idx(stride, offset)))
+    expr = _combine(rng, terms)
+    if two_d:
+        b.array("c", ("n", "m"), (dy, dx))
+        store = _ref("c", Ident("idy"), Ident("idx"))
+    else:
+        b.array("c", ("n",), (dx,))
+        store = _ref("c", Ident("idx"))
+    b.body.append(AssignStmt(store, "=", expr))
+    return domain
+
+
+def _gen_pairwise(rng: random.Random, b: _Builder) -> Tuple[int, int]:
+    """Adjacent-pair loads ``a[2*idx]``/``a[2*idx+1]`` (vectorization)."""
+    domain = _pick_domain(rng, False)
+    dx = domain[0]
+    b.array("a", ("n2",), (2 * dx,))
+    b.array("c", ("n",), (dx,))
+    re = DeclStmt(FLOAT, "re", init=_ref("a", _idx(2)))
+    im = DeclStmt(FLOAT, "im", init=_ref("a", _idx(2, 1)))
+    b.body.extend([re, im])
+    expr = _combine(rng, [Ident("re"), Ident("im")])
+    b.body.append(AssignStmt(_ref("c", Ident("idx")), "=", expr))
+    return domain
+
+
+def _gen_rowbcast(rng: random.Random, b: _Builder) -> Tuple[int, int]:
+    """mm-like: ``a[idy][i + c]`` walks its row (R staging) against a
+    coalesced ``b[i][idx]`` walk."""
+    w = rng.choice(_LOOP_EXTENTS)
+    domain = _pick_domain(rng, True, w)
+    dx, dy = domain
+    offset = rng.choice((0, 0, 1))
+    b.array("a", ("n", "w"), (dy, w + offset))
+    terms: List[Expr] = [_ref("a", Ident("idy"), _idx(1, offset, "i"))]
+    if rng.random() < 0.8:
+        b.array("b", ("w", "m"), (w, dx))
+        terms.append(_ref("b", Ident("i"), Ident("idx")))
+    b.array("c", ("n", "m"), (dy, dx))
+    acc_max = rng.random() < 0.2
+    update = AssignStmt(Ident("s"), "=",
+                        Call("fmaxf", [Ident("s"), _combine(rng, terms)])) \
+        if acc_max else AssignStmt(Ident("s"), "+=", _combine(rng, terms))
+    b.body.append(DeclStmt(FLOAT, "s", init=FloatLit(0.0)))
+    b.body.append(_acc_loop(rng, b, b.size("w", w), [update]))
+    b.body.append(AssignStmt(_ref("c", Ident("idy"), Ident("idx")), "=",
+                             Ident("s")))
+    return domain
+
+
+def _gen_colwalk(rng: random.Random, b: _Builder) -> Tuple[int, int]:
+    """mv-like: ``a[idx][i + c]`` (C staging) against a broadcast vector."""
+    w = rng.choice(_LOOP_EXTENTS)
+    domain = _pick_domain(rng, False, w)
+    dx = domain[0]
+    offset = rng.choice((0, 0, 1, 2))
+    b.array("a", ("n", "w"), (dx, w + offset))
+    terms: List[Expr] = [_ref("a", Ident("idx"), _idx(1, offset, "i"))]
+    if rng.random() < 0.7:
+        b.array("b", ("w",), (w,))
+        terms.append(_ref("b", Ident("i")))
+    b.array("c", ("n",), (dx,))
+    update = AssignStmt(Ident("s"), "+=", _combine(rng, terms))
+    b.body.append(DeclStmt(FLOAT, "s", init=FloatLit(0.0)))
+    b.body.append(_acc_loop(rng, b, b.size("w", w), [update]))
+    b.body.append(AssignStmt(_ref("c", Ident("idx")), "=", Ident("s")))
+    return domain
+
+
+def _gen_broadcast(rng: random.Random, b: _Builder) -> Tuple[int, int]:
+    """tmv-like: coalesced ``a[i][idx]`` against a small shared table
+    ``b[i]`` (B staging)."""
+    w = rng.choice(_LOOP_EXTENTS)
+    domain = _pick_domain(rng, False, w)
+    dx = domain[0]
+    b.array("a", ("w", "n"), (w, dx))
+    b.array("b", ("w",), (w,))
+    b.array("c", ("n",), (dx,))
+    term = Binary("*", _ref("a", Ident("i"), Ident("idx")),
+                  _ref("b", Ident("i")))
+    b.body.append(DeclStmt(FLOAT, "s", init=FloatLit(0.0)))
+    b.body.append(_acc_loop(rng, b, b.size("w", w),
+                            [AssignStmt(Ident("s"), "+=", term)]))
+    b.body.append(AssignStmt(_ref("c", Ident("idx")), "=", Ident("s")))
+    return domain
+
+
+def _gen_transpose(rng: random.Random, b: _Builder) -> Tuple[int, int]:
+    """``a[idx][idy]`` (T staging), optionally mixed with a coalesced
+    addend."""
+    domain = _pick_domain(rng, True)
+    dx, dy = domain
+    b.array("a", ("m", "n"), (dx, dy))
+    terms: List[Expr] = [_ref("a", Ident("idx"), Ident("idy"))]
+    if rng.random() < 0.4:
+        b.array("b", ("n", "m"), (dy, dx))
+        terms.append(_ref("b", Ident("idy"), Ident("idx")))
+    b.array("c", ("n", "m"), (dy, dx))
+    b.body.append(AssignStmt(_ref("c", Ident("idy"), Ident("idx")), "=",
+                             _combine(rng, terms)))
+    return domain
+
+
+def _stencil_arrays(rng: random.Random, b: _Builder, dx: int, dy: int,
+                    kh: int, kw: int) -> None:
+    b.array("a", ("pn", "pm"), (dy + kh, dx + kw + STENCIL_PAD))
+
+
+def _gen_stencil(rng: random.Random, b: _Builder) -> Tuple[int, int]:
+    """Apron reads ``a[idy + ki][idx + kj]`` (S staging): either a
+    convolution double loop or unrolled fixed taps."""
+    unrolled = rng.random() < 0.5
+    if unrolled:
+        taps = rng.randint(2, 5)
+        kh = kw = 3
+        domain = _pick_domain(rng, True, taps)
+        dx, dy = domain
+        _stencil_arrays(rng, b, dx, dy, kh, kw)
+        offs = rng.sample([(oy, ox) for oy in range(3) for ox in range(3)],
+                          taps)
+        terms = [_ref("a", _idx(1, oy, "idy"), _idx(1, ox, "idx"))
+                 for oy, ox in offs]
+        expr = _combine(rng, terms)
+        b.array("c", ("n", "m"), (dy, dx))
+        b.body.append(AssignStmt(_ref("c", Ident("idy"), Ident("idx")), "=",
+                                 expr))
+        return domain
+    kh = rng.choice((2, 3))
+    kw = rng.choice((2, 3, 4))
+    domain = _pick_domain(rng, True, kh * kw)
+    dx, dy = domain
+    _stencil_arrays(rng, b, dx, dy, kh, kw)
+    b.array("f", ("kh", "kw"), (kh, kw))
+    b.array("c", ("n", "m"), (dy, dx))
+    term = Binary("*",
+                  _ref("a", _add(Ident("idy"), Ident("ki")),
+                       _add(Ident("idx"), Ident("kj"))),
+                  _ref("f", Ident("ki"), Ident("kj")))
+    inner = _acc_loop(rng, b, b.size("kw", kw),
+                      [AssignStmt(Ident("s"), "+=", term)], iname="kj")
+    outer = _acc_loop(rng, b, b.size("kh", kh), [inner], iname="ki")
+    b.body.append(DeclStmt(FLOAT, "s", init=FloatLit(0.0)))
+    b.body.append(outer)
+    b.body.append(AssignStmt(_ref("c", Ident("idy"), Ident("idx")), "=",
+                             Ident("s")))
+    return domain
+
+
+def _gen_guarded(rng: random.Random, b: _Builder) -> Tuple[int, int]:
+    """Demosaic-like parity guards selecting between apron expressions."""
+    domain = _pick_domain(rng, True)
+    dx, dy = domain
+    _stencil_arrays(rng, b, dx, dy, 3, 3)
+    center = _ref("a", _idx(1, 1, "idy"), _idx(1, 1, "idx"))
+    horiz = _add(_ref("a", _idx(1, 1, "idy"), Ident("idx")),
+                 _ref("a", _idx(1, 1, "idy"), _idx(1, 2, "idx")))
+    vert = _add(_ref("a", Ident("idy"), _idx(1, 1, "idx")),
+                _ref("a", _idx(1, 2, "idy"), _idx(1, 1, "idx")))
+    outputs = ["c"] if rng.random() < 0.5 else ["c", "g"]
+    for name in outputs:
+        b.array(name, ("n", "m"), (dy, dx))
+    axis = rng.choice(("idx", "idy"))
+    cond = Binary("==", Binary("%", Ident(axis), IntLit(2)), IntLit(0))
+    exprs = [center, horiz, vert]
+    rng.shuffle(exprs)
+    then_body = [AssignStmt(_ref(n, Ident("idy"), Ident("idx")), "=",
+                            exprs[i % len(exprs)].clone())
+                 for i, n in enumerate(outputs)]
+    else_body = [AssignStmt(_ref(n, Ident("idy"), Ident("idx")), "=",
+                            exprs[(i + 1) % len(exprs)].clone())
+                 for i, n in enumerate(outputs)]
+    b.body.append(IfStmt(cond, then_body, else_body))
+    return domain
+
+
+#: production name -> (weight, builder fn)
+SHAPES = {
+    "elementwise": (2, _gen_elementwise),
+    "pairwise": (1, _gen_pairwise),
+    "rowbcast": (2, _gen_rowbcast),
+    "colwalk": (2, _gen_colwalk),
+    "broadcast": (1, _gen_broadcast),
+    "transpose": (1, _gen_transpose),
+    "stencil": (2, _gen_stencil),
+    "guarded": (1, _gen_guarded),
+}
+
+
+def generate_case(seed: int, index: int,
+                  shape: Optional[str] = None) -> KernelCase:
+    """Generate one deterministic case for ``(seed, index)``.
+
+    ``shape`` forces a production; by default one is drawn by weight.
+    """
+    rng = random.Random((seed << 20) ^ index)
+    if shape is None:
+        names = list(SHAPES)
+        weights = [SHAPES[n][0] for n in names]
+        shape = rng.choices(names, weights=weights, k=1)[0]
+    elif shape not in SHAPES:
+        raise KeyError(f"unknown shape {shape!r}; available: "
+                       f"{sorted(SHAPES)}")
+    builder = _Builder()
+    domain = SHAPES[shape][1](rng, builder)
+    name = f"fz_{shape}_{seed}_{index}"
+    return builder.finish(name, domain,
+                          origin=f"seed={seed} index={index} shape={shape}")
+
+
+def generate_cases(seed: int, count: int,
+                   shape: Optional[str] = None) -> List[KernelCase]:
+    return [generate_case(seed, i, shape) for i in range(count)]

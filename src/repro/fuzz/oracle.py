@@ -1,0 +1,281 @@
+"""The differential oracle: naive interpretation vs. every pipeline stage.
+
+For one :class:`~repro.fuzz.corpus.KernelCase` the oracle
+
+1. interprets the naive kernel directly (a plain programmer's launch,
+   no compiler involvement at all) to obtain the *reference* outputs;
+2. compiles every cumulative optimization stage (the Figure 12
+   dissection) and re-runs each on fresh copies of the same inputs,
+   demanding **bit-identical** arrays;
+3. runs the static verifier on each stage's output and reports any
+   error-severity finding as a divergence (warnings are tallied only);
+4. round-trips each stage through the printer — printed source must
+   re-parse, re-check in ``optimized`` mode, and re-interpret to the
+   stage's own outputs, bit for bit.
+
+Input data is derived deterministically from the case itself (a CRC of
+the source and bindings seeds numpy), so corpus replays need no stored
+arrays.  Inputs are small *integer-valued* floats: every product and sum
+the generated kernels can form is exactly representable, so float
+reassociation cannot mask a real divergence and exact comparison is
+sound.
+
+A graceful :class:`~repro.passes.base.PassError` is a *rejection* (the
+compiler declined the kernel), not a divergence; any other failure —
+wrong bits, verifier errors, round-trip mismatches, or unexpected
+exceptions — is.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis import verify_compiled
+from repro.compiler import CompileOptions, _naive_block, compile_stages
+from repro.fuzz.corpus import KernelCase
+from repro.lang.astnodes import ArrayRef, AssignStmt, Kernel, walk_stmts
+from repro.lang.parser import parse_kernel
+from repro.lang.printer import print_kernel
+from repro.lang.semantic import SemanticError, check_kernel
+from repro.machine import GTX280, GpuSpec
+from repro.passes.base import PassError
+from repro.sim.interp import Interpreter, LaunchConfig
+
+#: Cumulative stage keys, in pipeline order (= compile_stages keys).
+STAGE_NAMES: Tuple[str, ...] = ("naive", "+vectorize", "+coalesce",
+                                "+merge", "+prefetch", "+partition")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One way a stage disagreed with the naive kernel."""
+
+    stage: str   # '' for failures before any stage ran
+    kind: str    # 'output' | 'verify' | 'roundtrip' | 'crash' | 'semantic'
+    detail: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"stage": self.stage, "kind": self.kind, "detail": self.detail}
+
+    def render(self) -> str:
+        where = self.stage or "<compile>"
+        return f"{where}: {self.kind}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class OracleOptions:
+    """What to check, and on which machine."""
+
+    stages: Tuple[str, ...] = STAGE_NAMES
+    machine: GpuSpec = GTX280
+    check_verifier: bool = True
+    check_roundtrip: bool = True
+    compile_options: Optional[CompileOptions] = None
+
+
+@dataclass
+class CaseResult:
+    """The oracle's verdict on one case."""
+
+    case: KernelCase
+    status: str                       # 'ok' | 'rejected' | 'divergent'
+    divergences: List[Divergence] = field(default_factory=list)
+    stages_checked: List[str] = field(default_factory=list)
+    reject_reason: str = ""
+    verifier_warnings: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.case.name,
+            "origin": self.case.origin,
+            "status": self.status,
+            "stages_checked": list(self.stages_checked),
+            "divergences": [d.to_dict() for d in self.divergences],
+            "reject_reason": self.reject_reason,
+            "verifier_warnings": self.verifier_warnings,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Deterministic inputs
+# ---------------------------------------------------------------------------
+
+def output_names(kernel: Kernel) -> set:
+    """Array parameters the kernel writes (assignment targets)."""
+    written = set()
+    params = {p.name for p in kernel.array_params()}
+    for stmt in walk_stmts(kernel.body):
+        if isinstance(stmt, AssignStmt) and isinstance(stmt.target, ArrayRef):
+            if stmt.target.base.name in params:
+                written.add(stmt.target.base.name)
+    return written
+
+
+def case_seed(case: KernelCase) -> int:
+    """A stable 32-bit seed derived from the case's source and bindings."""
+    text = case.source + "|" + repr(sorted(case.sizes.items())) \
+        + "|" + repr(tuple(case.domain))
+    return zlib.crc32(text.encode())
+
+
+def make_arrays(kernel: Kernel, case: KernelCase) -> Dict[str, np.ndarray]:
+    """Deterministic integer-valued inputs; outputs start at zero."""
+    rng = np.random.default_rng(case_seed(case))
+    written = output_names(kernel)
+    arrays: Dict[str, np.ndarray] = {}
+    for p in kernel.array_params():
+        shape = p.array_type().resolved_dims(case.sizes)
+        dtype = np.int32 if p.type.name == "int" else np.float32
+        if p.name in written:
+            arrays[p.name] = np.zeros(shape, dtype=dtype)
+        else:
+            arrays[p.name] = rng.integers(0, 8, size=shape).astype(dtype)
+    return arrays
+
+
+# ---------------------------------------------------------------------------
+# Reference interpretation (no compiler involved)
+# ---------------------------------------------------------------------------
+
+def run_reference(kernel: Kernel, case: KernelCase,
+                  arrays: Dict[str, np.ndarray],
+                  machine: GpuSpec = GTX280) -> Dict[str, np.ndarray]:
+    """Interpret the naive kernel under a plain programmer's launch."""
+    block = _naive_block(case.domain, machine)
+    grid = (max(1, case.domain[0] // block[0]),
+            max(1, case.domain[1] // block[1]))
+    config = LaunchConfig(grid=grid, block=block)
+    work = {k: v.copy() for k, v in arrays.items()}
+    scalars = {p.name: case.sizes[p.name] for p in kernel.scalar_params()}
+    Interpreter(kernel).run(config, work, scalars)
+    return work
+
+
+# ---------------------------------------------------------------------------
+# The oracle proper
+# ---------------------------------------------------------------------------
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _first_mismatch(got: Dict[str, np.ndarray],
+                    want: Dict[str, np.ndarray]) -> Optional[str]:
+    for name in sorted(want):
+        a, b = got[name], want[name]
+        if a.shape != b.shape or not np.array_equal(a, b):
+            bad = int(np.count_nonzero(a != b)) if a.shape == b.shape else -1
+            where = ""
+            if a.shape == b.shape and bad:
+                flat = np.argwhere(a != b)[0]
+                where = (f" (first at {tuple(int(i) for i in flat)}: "
+                         f"{a[tuple(flat)]!r} != {b[tuple(flat)]!r})")
+            return f"array {name!r}: {bad} element(s) differ{where}"
+    return None
+
+
+def run_case(case: KernelCase,
+             options: Optional[OracleOptions] = None) -> CaseResult:
+    """Run the full differential check on one case."""
+    opts = options or OracleOptions()
+    result = CaseResult(case=case, status="ok")
+
+    # -- parse + validate the naive kernel --------------------------------
+    try:
+        naive = parse_kernel(case.source)
+        check_kernel(naive, mode="naive")
+    except Exception as exc:
+        result.status = "divergent"
+        result.divergences.append(Divergence("", "semantic", _describe(exc)))
+        return result
+
+    # -- reference run -----------------------------------------------------
+    arrays = make_arrays(naive, case)
+    try:
+        reference = run_reference(naive, case, arrays, opts.machine)
+    except Exception as exc:
+        result.status = "divergent"
+        result.divergences.append(Divergence("", "crash",
+                                             "reference: " + _describe(exc)))
+        return result
+
+    # -- compile every cumulative stage ------------------------------------
+    try:
+        stages = compile_stages(case.source, case.sizes, case.domain,
+                                opts.machine, opts.compile_options)
+    except PassError as exc:
+        result.status = "rejected"
+        result.reject_reason = _describe(exc)
+        return result
+    except SemanticError as exc:
+        result.status = "divergent"
+        result.divergences.append(Divergence("", "semantic", _describe(exc)))
+        return result
+    except Exception as exc:
+        result.status = "divergent"
+        result.divergences.append(Divergence("", "crash", _describe(exc)))
+        return result
+
+    wanted = [s for s in STAGE_NAMES if s in opts.stages]
+    for stage in wanted:
+        ck = stages[stage]
+        result.stages_checked.append(stage)
+        _check_stage(stage, ck, arrays, reference, opts, result)
+
+    if result.divergences:
+        result.status = "divergent"
+    return result
+
+
+def _check_stage(stage: str, ck, arrays: Dict[str, np.ndarray],
+                 reference: Dict[str, np.ndarray], opts: OracleOptions,
+                 result: CaseResult) -> None:
+    # 1. bit-exact output equivalence.
+    work = {k: v.copy() for k, v in arrays.items()}
+    try:
+        ck.run(work)
+    except Exception as exc:
+        result.divergences.append(Divergence(stage, "crash", _describe(exc)))
+        return
+    mismatch = _first_mismatch(work, reference)
+    if mismatch:
+        result.divergences.append(Divergence(stage, "output", mismatch))
+
+    # 2. static verifier stays clean (errors only; warnings are tallied).
+    if opts.check_verifier:
+        try:
+            report = verify_compiled(ck, stage=stage)
+        except Exception as exc:
+            result.divergences.append(
+                Divergence(stage, "crash", "verifier: " + _describe(exc)))
+        else:
+            result.verifier_warnings += len(report.warnings)
+            for diag in report.errors:
+                result.divergences.append(
+                    Divergence(stage, "verify", diag.render()))
+
+    # 3. printer round-trip: printed source re-parses, re-checks, and
+    #    re-interprets to this stage's own outputs.
+    if opts.check_roundtrip:
+        try:
+            reparsed = parse_kernel(print_kernel(ck.kernel))
+            check_kernel(reparsed, mode="optimized")
+            redo = {k: v.copy() for k, v in arrays.items()}
+            replace(ck, kernel=reparsed).run(redo)
+        except Exception as exc:
+            result.divergences.append(
+                Divergence(stage, "roundtrip", _describe(exc)))
+            return
+        mismatch = _first_mismatch(redo, work)
+        if mismatch:
+            result.divergences.append(
+                Divergence(stage, "roundtrip", "reprinted kernel differs: "
+                           + mismatch))

@@ -1,0 +1,230 @@
+"""Automatic shrinking of failing fuzz cases to minimal reproducers.
+
+A greedy delta-debugging loop over the naive-kernel AST.  Each round
+proposes structural simplifications, re-runs the differential oracle on
+the candidate, and keeps it when the *same kind* of divergence (same
+stage, same kind, and for crashes the same exception type) still
+reproduces — so a size shrink that merely introduces an out-of-bounds
+crash cannot masquerade as the original miscompile.
+
+Shrink moves, in decreasing order of payoff:
+
+* drop a whole statement;
+* flatten an ``if`` to one of its branches;
+* replace a loop by its body with the iterator pinned to zero;
+* halve a size binding (domain X stays a multiple of 16);
+* simplify an index expression to one of its operands / drop a
+  coefficient;
+* drop parameters the body no longer references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.fuzz.corpus import KernelCase
+from repro.fuzz.oracle import CaseResult, OracleOptions, run_case
+from repro.lang.astnodes import (
+    ArrayRef,
+    Binary,
+    DeclStmt,
+    Expr,
+    ForStmt,
+    IfStmt,
+    IntLit,
+    Kernel,
+    Param,
+    Stmt,
+    child_stmt_lists,
+    idents_used,
+    walk_stmts,
+)
+from repro.lang.printer import print_kernel
+from repro.lang.parser import parse_kernel
+from repro.lang.semantic import check_kernel
+from repro.lang.visitor import substitute_in_body
+
+Signature = Set[Tuple[str, str, str]]
+
+
+def _signature(result: CaseResult) -> Signature:
+    """(stage, kind, crash-class) triples identifying a failure mode."""
+    sig: Signature = set()
+    for d in result.divergences:
+        crash_class = ""
+        if d.kind == "crash":
+            crash_class = d.detail.split(":", 1)[0]
+        sig.add((d.stage, d.kind, crash_class))
+    return sig
+
+
+def source_lines(case: KernelCase) -> int:
+    return len([l for l in case.source.splitlines() if l.strip()])
+
+
+# ---------------------------------------------------------------------------
+# Candidate generation
+# ---------------------------------------------------------------------------
+
+def _stmt_lists(kernel: Kernel) -> Iterator[List[Stmt]]:
+    yield kernel.body
+    for stmt in walk_stmts(kernel.body):
+        yield from child_stmt_lists(stmt)
+
+
+def _structural_variants(kernel: Kernel) -> Iterator[Tuple[str, Kernel]]:
+    """Statement-level shrinks, largest first."""
+    # Count positions on the original, then re-clone per candidate so the
+    # variants never share mutable nodes.
+    n_lists = sum(1 for _ in _stmt_lists(kernel))
+    for li in range(n_lists):
+        length = len(list(_stmt_lists(kernel))[li])
+        for si in range(length):
+            clone = kernel.clone()
+            lst = list(_stmt_lists(clone))[li]
+            stmt = lst[si]
+            if isinstance(stmt, IfStmt):
+                for label, branch in (("then", stmt.then_body),
+                                      ("else", stmt.else_body)):
+                    clone2 = kernel.clone()
+                    lst2 = list(_stmt_lists(clone2))[li]
+                    s2 = lst2[si]
+                    body = s2.then_body if label == "then" else s2.else_body
+                    lst2[si:si + 1] = body
+                    yield (f"if->{label}", clone2)
+            if isinstance(stmt, ForStmt) and stmt.iter_name():
+                clone2 = kernel.clone()
+                lst2 = list(_stmt_lists(clone2))[li]
+                s2 = lst2[si]
+                body = substitute_in_body(s2.body,
+                                          {s2.iter_name(): IntLit(0)})
+                lst2[si:si + 1] = body
+                yield ("unroll-loop", clone2)
+            del lst[si]
+            yield ("drop-stmt", clone)
+
+
+def _index_variants(kernel: Kernel) -> Iterator[Tuple[str, Kernel]]:
+    """Simplify one array-index expression at a time."""
+    # Enumerate (ref-position, index-position) pairs on a fresh clone for
+    # each variant, mutating the addressed index in place.
+    def refs(k: Kernel) -> List[ArrayRef]:
+        from repro.lang.astnodes import all_exprs
+        return [e for e in all_exprs(k.body) if isinstance(e, ArrayRef)]
+
+    for ri, ref in enumerate(refs(kernel)):
+        for ii, idx in enumerate(ref.indices):
+            if not isinstance(idx, Binary):
+                continue
+            for side in ("left", "right"):
+                clone = kernel.clone()
+                target = refs(clone)[ri]
+                target.indices[ii] = getattr(target.indices[ii], side)
+                yield (f"index-{side}", clone)
+
+
+def _param_cleanup(kernel: Kernel) -> Optional[Kernel]:
+    """Drop parameters the body no longer references."""
+    used = idents_used(kernel.body)
+    keep: List[Param] = []
+    arrays = [p for p in kernel.params if p.is_array and p.name in used]
+    extents = {d for p in arrays for d in p.dims if isinstance(d, str)}
+    for p in kernel.params:
+        if p.is_array:
+            if p.name in used:
+                keep.append(p)
+        elif p.name in used or p.name in extents:
+            keep.append(p)
+    if len(keep) == len(kernel.params):
+        return None
+    clone = kernel.clone()
+    clone.params = [p.clone() for p in keep]
+    return clone
+
+
+def _size_variants(case: KernelCase) -> Iterator[Tuple[str, Dict[str, int],
+                                                       Tuple[int, int]]]:
+    dx, dy = case.domain
+    if dx >= 32 and (dx // 2) % 16 == 0:
+        sizes = {k: (dx // 2 if v == dx else v) for k, v in case.sizes.items()}
+        yield ("halve-domain-x", sizes, (dx // 2, dy))
+    if dy >= 2:
+        half = max(1, dy // 2)
+        sizes = {k: (half if v == dy else v) for k, v in case.sizes.items()}
+        yield ("halve-domain-y", sizes, (dx, half))
+    for name in sorted(case.sizes):
+        v = case.sizes[name]
+        if v >= 2 and v not in case.domain:
+            sizes = dict(case.sizes)
+            sizes[name] = v // 2
+            yield (f"halve-{name}", sizes, case.domain)
+
+
+# ---------------------------------------------------------------------------
+# The reduction loop
+# ---------------------------------------------------------------------------
+
+def _rebuild(case: KernelCase, kernel: Kernel,
+             sizes: Optional[Dict[str, int]] = None,
+             domain: Optional[Tuple[int, int]] = None) -> KernelCase:
+    sizes = dict(sizes if sizes is not None else case.sizes)
+    # Keep only bindings that still name parameters.
+    param_names = {p.name for p in kernel.params}
+    sizes = {k: v for k, v in sizes.items() if k in param_names}
+    return KernelCase(name=case.name, source=print_kernel(kernel),
+                      sizes=sizes, domain=domain or case.domain,
+                      origin=case.origin, note=case.note)
+
+
+def _candidates(case: KernelCase) -> Iterator[KernelCase]:
+    kernel = parse_kernel(case.source)
+    for _desc, variant in _structural_variants(kernel):
+        yield _rebuild(case, variant)
+    for desc, sizes, domain in _size_variants(case):
+        yield _rebuild(case, kernel, sizes, domain)
+    for _desc, variant in _index_variants(kernel):
+        yield _rebuild(case, variant)
+    cleaned = _param_cleanup(kernel)
+    if cleaned is not None:
+        yield _rebuild(case, cleaned)
+
+
+def reduce_case(case: KernelCase, options: Optional[OracleOptions] = None,
+                max_attempts: int = 250,
+                base_result: Optional[CaseResult] = None
+                ) -> Tuple[KernelCase, int]:
+    """Greedily shrink ``case`` while its failure mode reproduces.
+
+    Returns the reduced case and the number of oracle runs spent.  When
+    ``case`` does not fail under ``options`` it is returned unchanged.
+    """
+    opts = options or OracleOptions()
+    base = base_result or run_case(case, opts)
+    if base.status != "divergent":
+        return case, 0
+    signature = _signature(base)
+    failing_stages = tuple(d.stage for d in base.divergences if d.stage)
+    if failing_stages:
+        opts = dc_replace(opts, stages=failing_stages)
+
+    attempts = 0
+    current = case
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            try:
+                check_kernel(parse_kernel(candidate.source), mode="naive")
+            except Exception:
+                continue
+            attempts += 1
+            result = run_case(candidate, opts)
+            if result.status == "divergent" and \
+                    signature & _signature(result):
+                current = candidate
+                improved = True
+                break
+    return current, attempts

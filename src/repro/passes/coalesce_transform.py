@@ -675,10 +675,21 @@ class CoalesceTransformPass(Pass):
             guard = Binary("<", Binary("+", Ident(iname), Ident(kname)),
                            affine_to_expr(loop_info.bound))
             new_body = [IfStmt(guard, new_body)]
-            g2s_loads = [IfStmt(
-                Binary("<", Binary("+", Ident(iname), Ident("tidx")),
-                       affine_to_expr(loop_info.bound)),
-                list(g2s_loads))]
+            # Each load group fetches columns by its own thread id: sliced
+            # (case C) loads use the within-warp id under block merge, the
+            # rest use tidx directly.
+            col_tid = Ident(wtidx) if need_warp_ids else Ident("tidx")
+            if g2s_sliced:
+                g2s_sliced = [IfStmt(
+                    Binary("<", Binary("+", Ident(iname), col_tid.clone()),
+                           affine_to_expr(loop_info.bound)),
+                    list(g2s_sliced))]
+            if g2s_guarded:
+                g2s_guarded = [IfStmt(
+                    Binary("<", Binary("+", Ident(iname), Ident("tidx")),
+                           affine_to_expr(loop_info.bound)),
+                    list(g2s_guarded))]
+            g2s_loads = g2s_sliced + g2s_guarded
         inner_loop = _count_loop(kname, HALF_WARP, new_body)
         outer_body: List[Stmt] = list(shared_decls)
         outer_body.extend(g2s_loads)

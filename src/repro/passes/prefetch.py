@@ -119,8 +119,13 @@ class PrefetchPass(Pass):
                                          {iname: start.clone()})
             init_decl = DeclStmt(FLOAT, temp, init=init_src)
             if guard is not None:
+                # The guard may itself test the iterator (ragged G2S
+                # loads): evaluate it at the fetched iteration, not
+                # verbatim.
+                init_guard = substitute_idents(guard.cond.clone(),
+                                               {iname: start.clone()})
                 prelude.append(DeclStmt(FLOAT, temp, init=None))
-                prelude.append(IfStmt(guard.cond.clone(),
+                prelude.append(IfStmt(init_guard,
                                       [AssignStmt(Ident(temp), "=",
                                                   init_src)]))
             else:
@@ -132,7 +137,9 @@ class PrefetchPass(Pass):
             next_src = substitute_idents(source.clone(), {iname: next_i})
             check: Expr = Binary("<", next_i.clone(), bound.clone())
             if guard is not None:
-                check = Binary("&&", guard.cond.clone(), check)
+                next_guard = substitute_idents(guard.cond.clone(),
+                                               {iname: next_i.clone()})
+                check = Binary("&&", next_guard, check)
             next_fetches.append(IfStmt(check, [
                 AssignStmt(Ident(temp), "=", next_src)]))
 

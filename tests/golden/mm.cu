@@ -1,0 +1,203 @@
+__global__ void mm(float a[n][w], float b[w][m], float c[n][m], int n, int m, int w) {
+    float sum_0 = 0;
+    float sum_1 = 0;
+    float sum_2 = 0;
+    float sum_3 = 0;
+    float sum_4 = 0;
+    float sum_5 = 0;
+    float sum_6 = 0;
+    float sum_7 = 0;
+    float sum_8 = 0;
+    float sum_9 = 0;
+    float sum_10 = 0;
+    float sum_11 = 0;
+    float sum_12 = 0;
+    float sum_13 = 0;
+    float sum_14 = 0;
+    float sum_15 = 0;
+    float pf0;
+    if (tidx < 16) {
+        pf0 = a[16 * idy][tidx];
+    }
+    float pf1;
+    if (tidx < 16) {
+        pf1 = a[16 * idy + 1][tidx];
+    }
+    float pf2;
+    if (tidx < 16) {
+        pf2 = a[16 * idy + 2][tidx];
+    }
+    float pf3;
+    if (tidx < 16) {
+        pf3 = a[16 * idy + 3][tidx];
+    }
+    float pf4;
+    if (tidx < 16) {
+        pf4 = a[16 * idy + 4][tidx];
+    }
+    float pf5;
+    if (tidx < 16) {
+        pf5 = a[16 * idy + 5][tidx];
+    }
+    float pf6;
+    if (tidx < 16) {
+        pf6 = a[16 * idy + 6][tidx];
+    }
+    float pf7;
+    if (tidx < 16) {
+        pf7 = a[16 * idy + 7][tidx];
+    }
+    float pf8;
+    if (tidx < 16) {
+        pf8 = a[16 * idy + 8][tidx];
+    }
+    float pf9;
+    if (tidx < 16) {
+        pf9 = a[16 * idy + 9][tidx];
+    }
+    float pf10;
+    if (tidx < 16) {
+        pf10 = a[16 * idy + 10][tidx];
+    }
+    float pf11;
+    if (tidx < 16) {
+        pf11 = a[16 * idy + 11][tidx];
+    }
+    float pf12;
+    if (tidx < 16) {
+        pf12 = a[16 * idy + 12][tidx];
+    }
+    float pf13;
+    if (tidx < 16) {
+        pf13 = a[16 * idy + 13][tidx];
+    }
+    float pf14;
+    if (tidx < 16) {
+        pf14 = a[16 * idy + 14][tidx];
+    }
+    float pf15;
+    if (tidx < 16) {
+        pf15 = a[16 * idy + 15][tidx];
+    }
+    for (int i = 0; i < w; i = i + 16) {
+        __shared__ float shared0_0[16];
+        __shared__ float shared0_1[16];
+        __shared__ float shared0_2[16];
+        __shared__ float shared0_3[16];
+        __shared__ float shared0_4[16];
+        __shared__ float shared0_5[16];
+        __shared__ float shared0_6[16];
+        __shared__ float shared0_7[16];
+        __shared__ float shared0_8[16];
+        __shared__ float shared0_9[16];
+        __shared__ float shared0_10[16];
+        __shared__ float shared0_11[16];
+        __shared__ float shared0_12[16];
+        __shared__ float shared0_13[16];
+        __shared__ float shared0_14[16];
+        __shared__ float shared0_15[16];
+        if (tidx < 16) {
+            shared0_0[tidx] = pf0;
+            shared0_1[tidx] = pf1;
+            shared0_2[tidx] = pf2;
+            shared0_3[tidx] = pf3;
+            shared0_4[tidx] = pf4;
+            shared0_5[tidx] = pf5;
+            shared0_6[tidx] = pf6;
+            shared0_7[tidx] = pf7;
+            shared0_8[tidx] = pf8;
+            shared0_9[tidx] = pf9;
+            shared0_10[tidx] = pf10;
+            shared0_11[tidx] = pf11;
+            shared0_12[tidx] = pf12;
+            shared0_13[tidx] = pf13;
+            shared0_14[tidx] = pf14;
+            shared0_15[tidx] = pf15;
+        }
+        __syncthreads();
+        if (tidx < 16 && i + 16 < w) {
+            pf0 = a[16 * idy][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf1 = a[16 * idy + 1][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf2 = a[16 * idy + 2][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf3 = a[16 * idy + 3][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf4 = a[16 * idy + 4][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf5 = a[16 * idy + 5][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf6 = a[16 * idy + 6][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf7 = a[16 * idy + 7][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf8 = a[16 * idy + 8][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf9 = a[16 * idy + 9][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf10 = a[16 * idy + 10][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf11 = a[16 * idy + 11][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf12 = a[16 * idy + 12][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf13 = a[16 * idy + 13][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf14 = a[16 * idy + 14][tidx + i + 16];
+        }
+        if (tidx < 16 && i + 16 < w) {
+            pf15 = a[16 * idy + 15][tidx + i + 16];
+        }
+        for (int k = 0; k < 16; k = k + 1) {
+            float r0 = b[i + k][idx];
+            sum_0 += shared0_0[k] * r0;
+            sum_1 += shared0_1[k] * r0;
+            sum_2 += shared0_2[k] * r0;
+            sum_3 += shared0_3[k] * r0;
+            sum_4 += shared0_4[k] * r0;
+            sum_5 += shared0_5[k] * r0;
+            sum_6 += shared0_6[k] * r0;
+            sum_7 += shared0_7[k] * r0;
+            sum_8 += shared0_8[k] * r0;
+            sum_9 += shared0_9[k] * r0;
+            sum_10 += shared0_10[k] * r0;
+            sum_11 += shared0_11[k] * r0;
+            sum_12 += shared0_12[k] * r0;
+            sum_13 += shared0_13[k] * r0;
+            sum_14 += shared0_14[k] * r0;
+            sum_15 += shared0_15[k] * r0;
+        }
+        __syncthreads();
+    }
+    c[16 * idy][idx] = sum_0;
+    c[16 * idy + 1][idx] = sum_1;
+    c[16 * idy + 2][idx] = sum_2;
+    c[16 * idy + 3][idx] = sum_3;
+    c[16 * idy + 4][idx] = sum_4;
+    c[16 * idy + 5][idx] = sum_5;
+    c[16 * idy + 6][idx] = sum_6;
+    c[16 * idy + 7][idx] = sum_7;
+    c[16 * idy + 8][idx] = sum_8;
+    c[16 * idy + 9][idx] = sum_9;
+    c[16 * idy + 10][idx] = sum_10;
+    c[16 * idy + 11][idx] = sum_11;
+    c[16 * idy + 12][idx] = sum_12;
+    c[16 * idy + 13][idx] = sum_13;
+    c[16 * idy + 14][idx] = sum_14;
+    c[16 * idy + 15][idx] = sum_15;
+}

@@ -1,0 +1,21 @@
+__global__ void rd_block(float a[n], float partial[nb], int n, int nb) {
+    __shared__ float sdata[256];
+    float acc = 0;
+    for (int j = 0; j < 32; j = j + 1) {
+        int pos = bidx * 8192 + j * 256 + tidx;
+        if (pos < n) {
+            acc += a[pos];
+        }
+    }
+    sdata[tidx] = acc;
+    __syncthreads();
+    for (int st = 128; st > 0; st = st / 2) {
+        if (tidx < st) {
+            sdata[tidx] += sdata[tidx + st];
+        }
+        __syncthreads();
+    }
+    if (tidx == 0) {
+        partial[bidx] = sdata[0];
+    }
+}

@@ -1,0 +1,18 @@
+__global__ void rd_partial(float a[n], float partial[nb], int n, int nb) {
+    __shared__ float sdata[256];
+    float acc = 0;
+    for (int pos = bidx * 256 + tidx; pos < n; pos = pos + 256 * gdimx) {
+        acc += a[pos];
+    }
+    sdata[tidx] = acc;
+    __syncthreads();
+    for (int st = 128; st > 0; st = st / 2) {
+        if (tidx < st) {
+            sdata[tidx] += sdata[tidx + st];
+        }
+        __syncthreads();
+    }
+    if (tidx == 0) {
+        partial[bidx] = sdata[0];
+    }
+}

@@ -1,0 +1,8 @@
+__global__ void tp(float a[m][n], float c[n][m], int n, int m) {
+    int bidx_d = (bidx + bidy) % 2;
+    int bidy_d = bidx;
+    __shared__ float tile0[16][17];
+    tile0[tidy][tidx] = a[tidy + 16 * bidx_d][tidx + 16 * bidy_d];
+    __syncthreads();
+    c[tidy + 16 * bidy_d][tidx + 16 * bidx_d] = tile0[tidx][tidy];
+}

@@ -1,0 +1,52 @@
+"""Replay every corpus kernel through the differential oracle.
+
+The corpus mixes three kinds of cases (told apart by their names):
+
+* ``seed_*``     — one hand-picked representative per grammar
+  production, seeded when the fuzzer was introduced;
+* ``regress_*``  — reproducers for compiler bugs the fuzzer found,
+  kept so the fixes cannot silently regress;
+* ``fz_*``       — reproducers written by later fuzz runs.
+
+Every case must replay without divergence: graceful compiler
+rejections are tolerated (the pipeline may legitimately decline a
+kernel as heuristics evolve), wrong bits / verifier errors /
+round-trip failures are not.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.corpus import CASE_SCHEMA, load_corpus
+from repro.fuzz.oracle import run_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CASES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    names = {c.name for c in CASES}
+    for shape in ("elementwise", "pairwise", "rowbcast", "colwalk",
+                  "broadcast", "transpose", "stencil", "guarded"):
+        assert f"seed_{shape}" in names, f"missing seed case for {shape!r}"
+    assert len(CASES) >= 10
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_corpus_case_replays_clean(case):
+    result = run_case(case)
+    assert result.status != "divergent", \
+        "; ".join(d.render() for d in result.divergences)
+    if case.name.startswith("seed_"):
+        # Seed cases document the happy path: they must stay compilable.
+        assert result.status == "ok", result.reject_reason
+
+
+def test_corpus_files_carry_schema():
+    import json
+    for entry in sorted(os.listdir(CORPUS_DIR)):
+        with open(os.path.join(CORPUS_DIR, entry)) as f:
+            doc = json.load(f)
+        assert doc["schema"] == CASE_SCHEMA, entry
+        assert doc["name"] and doc["source"], entry

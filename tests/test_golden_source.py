@@ -1,0 +1,56 @@
+"""Golden-file tests: the printed optimized source must not drift.
+
+Any intentional pipeline change that alters the emitted CUDA for the
+paper's flagship kernels (mm, tp) or the fissioned reduction (rd)
+must update the checked-in golden files — run
+
+    UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_source.py
+
+and review the diff like any other code change.
+"""
+
+import os
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.kernels.suite import ALGORITHMS
+from repro.reduction import compile_reduction
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+UPDATE = bool(os.environ.get("UPDATE_GOLDEN"))
+
+
+def check_golden(name, text):
+    path = os.path.join(GOLDEN_DIR, name)
+    if UPDATE:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as f:
+            f.write(text)
+        return
+    assert os.path.exists(path), \
+        f"missing golden file {path}; regenerate with UPDATE_GOLDEN=1"
+    with open(path) as f:
+        want = f.read()
+    assert text == want, \
+        f"{name} drifted from golden output; if intended, " \
+        f"regenerate with UPDATE_GOLDEN=1 and review the diff"
+
+
+def compile_suite_kernel(name):
+    alg = ALGORITHMS[name]
+    sizes = alg.sizes(alg.test_scale)
+    return compile_kernel(alg.source, sizes, alg.domain(sizes))
+
+
+@pytest.mark.parametrize("name", ["mm", "tp"])
+def test_optimized_source_is_golden(name):
+    compiled = compile_suite_kernel(name)
+    check_golden(f"{name}.cu", compiled.source)
+
+
+def test_reduction_stages_are_golden():
+    alg = ALGORITHMS["rd"]
+    compiled = compile_reduction(alg.source, alg.sizes(alg.test_scale)["n"])
+    check_golden("rd_stage1.cu", compiled.stage1_source)
+    check_golden("rd_stage2.cu", compiled.stage2_source)
