@@ -1,0 +1,152 @@
+"""Backend speedup record: lockstep vs. warp-vectorized simulator.
+
+Times one full optimized-kernel launch per suite kernel (mm, tp, and the
+globally-synchronized rd reduction) on both execution backends, checks
+the outputs are bit-identical, and writes the versioned
+``BENCH_backend.json`` envelope (schema ``repro.bench-backend/1``) that
+``tests/test_bench_backend.py`` validates and the README quotes.
+
+Runnable as a script from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_backend.py [--out BENCH_backend.json]
+
+and importable (``run_bench``) so the perf-regression test can smoke it
+on tiny launches without paying the full lockstep cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.figures import compile_optimized
+from repro.kernels.suite import get_algorithm
+from repro.machine import GTX280
+from repro.reduction import compile_reduction
+
+BENCH_SCHEMA = "repro.bench-backend/1"
+
+#: Committed-record launch scales.  mm at 64 means a 64x64 output with a
+#: 64-deep dot product -- big enough that the lockstep interpreter walks
+#: several million statements, small enough to time in seconds.
+DEFAULT_SCALES = {"mm": 64, "tp": 256, "rd": 1 << 15}
+
+_SEED = 0xBE7C
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _bench_compiled(name: str, scale: int, repeats: int) -> Dict[str, object]:
+    algo = get_algorithm(name)
+    compiled = compile_optimized(algo, scale, GTX280)
+    rng = np.random.default_rng(_SEED)
+    arrays = algo.make_arrays(rng, algo.sizes(scale))
+
+    def launch(backend: str) -> Dict[str, np.ndarray]:
+        work = {k: v.copy() for k, v in arrays.items()}
+        compiled.run(work, backend=backend)
+        return work
+
+    lockstep_s = min(_time(lambda: launch("lockstep")) for _ in range(repeats))
+    vec_out: List[Dict[str, np.ndarray]] = []
+    vectorized_s = min(_time(lambda: vec_out.append(launch("vectorized")))
+                       for _ in range(repeats))
+    ref = launch("lockstep")
+    identical = all((ref[k] == vec_out[-1][k]).all() for k in ref)
+    return {
+        "kernel": name,
+        "scale": scale,
+        "sizes": algo.sizes(scale),
+        "launch": {"grid": list(compiled.config.grid),
+                   "block": list(compiled.config.block)},
+        "threads": compiled.config.total_threads,
+        "lockstep_s": lockstep_s,
+        "vectorized_s": vectorized_s,
+        "speedup": lockstep_s / vectorized_s,
+        "bit_identical": identical,
+    }
+
+
+def _bench_reduction(scale: int, repeats: int) -> Dict[str, object]:
+    algo = get_algorithm("rd")
+    program = compile_reduction(algo.source, scale, GTX280)
+    rng = np.random.default_rng(_SEED)
+    data = algo.make_arrays(rng, {"n": scale})["a"]
+
+    def launch(backend: str) -> float:
+        return program.run(data.copy(), backend=backend)
+
+    lockstep_s = min(_time(lambda: launch("lockstep")) for _ in range(repeats))
+    vectorized_s = min(_time(lambda: launch("vectorized"))
+                       for _ in range(repeats))
+    return {
+        "kernel": "rd",
+        "scale": scale,
+        "sizes": {"n": scale},
+        "launch": None,              # two launches; see ReductionPlan
+        "threads": scale,
+        "lockstep_s": lockstep_s,
+        "vectorized_s": vectorized_s,
+        "speedup": lockstep_s / vectorized_s,
+        "bit_identical": launch("lockstep") == launch("vectorized"),
+    }
+
+
+def run_bench(scales: Optional[Dict[str, int]] = None,
+              repeats: int = 1) -> Dict[str, object]:
+    """Produce the ``repro.bench-backend/1`` envelope (no I/O)."""
+    scales = dict(DEFAULT_SCALES, **(scales or {}))
+    results = []
+    for name, scale in scales.items():
+        if name == "rd":
+            results.append(_bench_reduction(scale, repeats))
+        else:
+            results.append(_bench_compiled(name, scale, repeats))
+    return {
+        "schema": BENCH_SCHEMA,
+        "machine": GTX280.name,
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(root / "BENCH_backend.json"),
+                        help="output path (default: repo-root "
+                             "BENCH_backend.json)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; the minimum is recorded")
+    parser.add_argument("--scale", action="append", default=[],
+                        metavar="KERNEL=N",
+                        help="override a kernel's scale, e.g. mm=32")
+    args = parser.parse_args(argv)
+
+    overrides = {}
+    for spec in args.scale:
+        kernel, _, value = spec.partition("=")
+        overrides[kernel] = int(value)
+    envelope = run_bench(overrides or None, repeats=args.repeats)
+
+    pathlib.Path(args.out).write_text(json.dumps(envelope, indent=2) + "\n")
+    for row in envelope["results"]:
+        print(f"{row['kernel']:>4}: lockstep {row['lockstep_s']:.3f}s  "
+              f"vectorized {row['vectorized_s']:.4f}s  "
+              f"speedup {row['speedup']:.1f}x  "
+              f"bit_identical={row['bit_identical']}")
+    print(f"[saved to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

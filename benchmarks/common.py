@@ -10,9 +10,20 @@ figure takes to regenerate.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def sim_backend(default: str = "auto") -> str:
+    """The simulator backend benches run kernels on.
+
+    Benches favor ``auto`` (vectorized where possible — figure
+    regeneration is launch-heavy) but honor an explicit
+    ``REPRO_SIM_BACKEND`` so the lockstep numbers stay reproducible.
+    """
+    return os.environ.get("REPRO_SIM_BACKEND", default)
 
 
 def save_and_print(name: str, text: str) -> None:

@@ -13,6 +13,7 @@ Compilation::
     print(compiled.source)        # the optimized CUDA-like kernel
     print(compiled.config)        # grid/block launch parameters
     compiled.run(arrays)          # execute on the functional simulator
+    compiled.run(arrays, backend="vectorized")  # warp-vectorized backend
 
 Reductions (grid-synchronized naive kernels)::
 
@@ -36,13 +37,17 @@ from repro.explore import ExplorationResult, autotune, explore
 from repro.machine import GTX280, GTX8800, HD5870, GpuSpec, machine
 from repro.reduction import (CompiledReduction, ReductionPlan,
                              compile_reduction)
+from repro.sim.backend import (BACKENDS, default_backend, run_kernel,
+                               set_default_backend)
 from repro.sim.interp import Interpreter, LaunchConfig, launch
 from repro.sim.perf import PerfEstimate, estimate, estimate_compiled, \
     estimate_reduction
+from repro.sim.vectorized import UnsupportedKernelError, VectorizedInterpreter
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BACKENDS",
     "GTX280",
     "GTX8800",
     "HD5870",
@@ -55,14 +60,19 @@ __all__ = [
     "LaunchConfig",
     "PerfEstimate",
     "ReductionPlan",
+    "UnsupportedKernelError",
+    "VectorizedInterpreter",
     "autotune",
     "compile_kernel",
     "compile_reduction",
     "compile_stages",
+    "default_backend",
     "estimate",
     "estimate_compiled",
     "estimate_reduction",
     "explore",
     "launch",
     "machine",
+    "run_kernel",
+    "set_default_backend",
 ]

@@ -8,7 +8,8 @@ Usage::
 
     python -m repro lint [KERNEL ...] [--stage STAGE] [--scale N] [--json]
 
-    python -m repro fuzz [--seed N] [--count M] [--stages S1,S2] [--json]
+    python -m repro fuzz [--seed N] [--count M] [--stages S1,S2] \
+        [--backend lockstep|vectorized|auto|both] [--json]
 
 The first form prints the optimized kernel, the launch configuration, the
 compiler's decision log, and the analytic performance estimate; with
@@ -35,6 +36,7 @@ from repro.explore import explore
 from repro.lang.semantic import SemanticError
 from repro.machine import MACHINES, machine
 from repro.passes.base import PassError
+from repro.sim.backend import BACKENDS
 from repro.sim.perf import estimate_compiled
 
 _STAGE_OPTIONS = {
@@ -105,6 +107,15 @@ def main(argv=None) -> int:
                              "(errors abort compilation)")
     parser.add_argument("--explore", action="store_true",
                         help="empirically search merge factors (Section 4)")
+    parser.add_argument("--measure", default="model",
+                        choices=("model", "sim"),
+                        help="with --explore: score versions with the "
+                             "analytic model or by test-running each one "
+                             "on the simulator (Section 4.1)")
+    parser.add_argument("--backend", default=None,
+                        choices=BACKENDS,
+                        help="simulator execution backend for test runs "
+                             "(default: REPRO_SIM_BACKEND or lockstep)")
     parser.add_argument("--quiet", action="store_true",
                         help="print only the optimized kernel")
     args = parser.parse_args(argv)
@@ -121,7 +132,8 @@ def main(argv=None) -> int:
 
     try:
         if args.explore:
-            result = explore(source, sizes, domain, mach)
+            result = explore(source, sizes, domain, mach,
+                             measure=args.measure, backend=args.backend)
             compiled = result.best.compiled
         else:
             compiled = compile_kernel(source, sizes, domain, mach, options)
@@ -139,6 +151,10 @@ def main(argv=None) -> int:
     est = estimate_compiled(compiled)
     print(f"// predicted on {mach.name}: {est.time_s * 1e3:.3f} ms "
           f"({est.bound_by}-bound, {est.occupancy.warps_per_sm} warps/SM)")
+    if args.explore and args.measure == "sim":
+        print(f"// measured on simulator "
+              f"({args.backend or 'default'} backend): "
+              f"{result.best.measured_s * 1e3:.3f} ms")
     print("//")
     print("// decision log:")
     for line in compiled.log:

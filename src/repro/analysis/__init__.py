@@ -18,7 +18,7 @@ diagnostics framework (:mod:`repro.analysis.diagnostics`).
 """
 
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
-from repro.analysis.phases import PhaseSlicing, slice_phases
+from repro.sim.phases import PhaseSlicing, slice_phases
 from repro.analysis.verifier import VerifyOptions, verify_compiled, verify_kernel
 
 __all__ = [

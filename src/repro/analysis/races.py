@@ -1,7 +1,7 @@
 """Shared-memory race detection over barrier-delimited phases.
 
 Two shared accesses race when (1) no barrier orders them — they share a
-canonical phase from :mod:`repro.analysis.phases` — and (2) two *distinct*
+canonical phase from :mod:`repro.sim.phases` — and (2) two *distinct*
 threads of the block touch the same element with at least one write.
 
 The detector enumerates the block's threads concretely and builds, per
@@ -37,7 +37,7 @@ from repro.analysis.concrete import (
     thread_bindings,
 )
 from repro.analysis.diagnostics import Diagnostic, Severity
-from repro.analysis.phases import PhaseSlicing, slice_phases
+from repro.sim.phases import PhaseSlicing, slice_phases
 from repro.ir.access import AccessInfo, LoopInfo, collect_accesses
 from repro.lang.astnodes import Kernel
 

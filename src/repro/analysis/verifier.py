@@ -18,7 +18,7 @@ from repro.analysis.banks import check_banks
 from repro.analysis.bounds import check_bounds
 from repro.analysis.diagnostics import DiagnosticReport
 from repro.analysis.divergence import check_divergence
-from repro.analysis.phases import slice_phases
+from repro.sim.phases import slice_phases
 from repro.analysis.races import check_races
 from repro.ir.access import collect_accesses
 from repro.lang.astnodes import Kernel

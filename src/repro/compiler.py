@@ -39,7 +39,8 @@ from repro.passes.partition import PartitionCampingPass
 from repro.passes.prefetch import PrefetchPass
 from repro.passes.sharing import MergePlan, plan_merges
 from repro.passes.vectorize import VectorizePass
-from repro.sim.interp import Interpreter, LaunchConfig
+from repro.sim.backend import run_kernel
+from repro.sim.interp import LaunchConfig
 
 
 @dataclass(frozen=True)
@@ -99,11 +100,13 @@ class CompiledKernel:
 
     def run(self, arrays: Dict[str, np.ndarray],
             scalars: Optional[Dict[str, object]] = None,
-            trace=None) -> None:
+            trace=None, backend: Optional[str] = None) -> None:
         """Execute on the functional simulator; ``arrays`` mutate in place.
 
         Float arrays for ``float2`` parameters may be passed flat; they are
-        viewed as ``(n/2, 2)`` automatically.
+        viewed as ``(n/2, 2)`` automatically.  ``backend`` selects the
+        execution backend (see :mod:`repro.sim.backend`); the default
+        follows the process-wide setting.
         """
         bound = dict(arrays)
         for p in self.kernel.array_params():
@@ -119,7 +122,8 @@ class CompiledKernel:
             merged.update(scalars)
         args = {p.name: merged[p.name]
                 for p in self.kernel.scalar_params()}
-        Interpreter(self.kernel, trace=trace).run(self.config, bound, args)
+        run_kernel(self.kernel, self.config, bound, args,
+                   backend=backend, trace=trace)
 
 
 def compile_kernel(source: Union[str, Kernel],

@@ -12,12 +12,28 @@ and the search sweeps the paper's ranges:
 
 The paper also notes the optimum depends on the input size, which is why
 ``explore`` takes concrete size bindings and Figure 10 is swept per size.
+
+Two measurement modes:
+
+* ``measure="model"`` (default) scores each version with the analytic
+  performance model — the DESIGN.md substitution for the GPU;
+* ``measure="sim"`` actually *test-runs* each version, like the paper's
+  empirical search, timing a launch on the functional simulator.  The
+  warp-vectorized backend (``backend="vectorized"``/``"auto"``) makes
+  this affordable: a full sweep is tens of launches, each 10-100x faster
+  than the lockstep interpreter.  Simulated wall-clock is a proxy
+  measurement — it rewards versions that do less total work (fewer
+  statements, better merges) but cannot see memory-system effects the
+  analytic model covers, so ``model`` remains the default.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.compiler import CompiledKernel, CompileOptions, compile_kernel
 from repro.machine import GTX280, GpuSpec
@@ -31,13 +47,15 @@ THREAD_MERGE_FACTORS = (1, 4, 8, 16, 32)
 
 @dataclass
 class Version:
-    """One explored code version and its predicted performance."""
+    """One explored code version and its predicted/measured performance."""
 
     block_merge: int
     thread_merge: int
     compiled: Optional[CompiledKernel]
     estimate: Optional[PerfEstimate]
     error: Optional[str] = None
+    #: Wall-clock seconds of a simulator test run (``measure="sim"``).
+    measured_s: Optional[float] = None
 
     @property
     def feasible(self) -> bool:
@@ -45,6 +63,8 @@ class Version:
 
     @property
     def time_s(self) -> float:
+        if self.measured_s is not None:
+            return self.measured_s
         return self.estimate.time_s if self.estimate else float("inf")
 
 
@@ -61,13 +81,46 @@ class ExplorationResult:
                 for v in self.versions}
 
 
+def _bench_arrays(compiled: CompiledKernel) -> Dict[str, np.ndarray]:
+    """Deterministic small-integer inputs sized for one test run."""
+    rng = np.random.default_rng(0xC0FFEE)
+    sizes = compiled.size_bindings()
+    arrays: Dict[str, np.ndarray] = {}
+    for p in compiled.kernel.array_params():
+        shape = tuple(p.array_type().resolved_dims(sizes))
+        if p.type.lanes > 1:
+            shape = shape + (p.type.lanes,)
+        dtype = np.int32 if p.type.name == "int" else np.float32
+        arrays[p.name] = rng.integers(0, 8, size=shape).astype(dtype)
+    return arrays
+
+
+def measure_compiled(compiled: CompiledKernel,
+                     backend: Optional[str] = None) -> float:
+    """Wall-clock seconds of one simulated launch (empirical search)."""
+    arrays = _bench_arrays(compiled)
+    start = time.perf_counter()
+    compiled.run(arrays, backend=backend)
+    return time.perf_counter() - start
+
+
 def explore(source: str, sizes: Dict[str, int], domain: Tuple[int, int],
             machine: GpuSpec = GTX280,
             block_factors: Sequence[int] = BLOCK_MERGE_FACTORS,
             thread_factors: Sequence[int] = THREAD_MERGE_FACTORS,
             base_options: Optional[CompileOptions] = None,
+            measure: str = "model",
+            backend: Optional[str] = None,
             ) -> ExplorationResult:
-    """Sweep merge factors and pick the best-performing version."""
+    """Sweep merge factors and pick the best-performing version.
+
+    ``measure`` selects the scoring: ``"model"`` uses the analytic
+    estimate; ``"sim"`` test-runs each version on the simulator (the
+    paper's empirical search) with the given ``backend``.
+    """
+    if measure not in ("model", "sim"):
+        raise ValueError(f"unknown measure {measure!r}; "
+                         f"expected 'model' or 'sim'")
     base = base_options or CompileOptions()
     versions: List[Version] = []
     for bm in block_factors:
@@ -87,7 +140,11 @@ def explore(source: str, sizes: Dict[str, int], domain: Tuple[int, int],
                 compiled = compile_kernel(source, sizes, domain, machine,
                                           options)
                 est = estimate_compiled(compiled)
-                versions.append(Version(bm, tm, compiled, est))
+                version = Version(bm, tm, compiled, est)
+                if measure == "sim":
+                    version.measured_s = measure_compiled(compiled,
+                                                          backend=backend)
+                versions.append(version)
             except PassError as exc:
                 versions.append(Version(bm, tm, None, None, str(exc)))
     feasible = [v for v in versions if v.feasible]

@@ -14,7 +14,12 @@ from typing import List, Optional
 
 from repro.fuzz.corpus import save_case
 from repro.fuzz.grammar import SHAPES, generate_case
-from repro.fuzz.oracle import STAGE_NAMES, OracleOptions, run_case
+from repro.fuzz.oracle import (
+    ORACLE_BACKENDS,
+    STAGE_NAMES,
+    OracleOptions,
+    run_case,
+)
 from repro.fuzz.reduce import reduce_case, source_lines
 from repro.machine import MACHINES, machine
 
@@ -55,6 +60,12 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
                              "e.g. 'coalesce,merge' or '+partition'")
     parser.add_argument("--machine", default="GTX280",
                         choices=sorted(MACHINES))
+    parser.add_argument("--backend", default=None,
+                        choices=ORACLE_BACKENDS,
+                        help="simulator backend for oracle runs; 'both' "
+                             "cross-checks lockstep against vectorized and "
+                             "reports disagreements as divergences "
+                             "(default: the process default backend)")
     parser.add_argument("--corpus-dir", default="tests/corpus",
                         help="where reduced reproducers are written "
                              "(default: tests/corpus)")
@@ -76,7 +87,8 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         print("error: --count must be positive", file=sys.stderr)
         return 2
 
-    opts = OracleOptions(stages=args.stages, machine=machine(args.machine))
+    opts = OracleOptions(stages=args.stages, machine=machine(args.machine),
+                         backend=args.backend)
     cases_json = []
     counts = {"ok": 0, "rejected": 0, "divergent": 0}
     divergent_names = []
@@ -124,6 +136,7 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         "cases": args.count,
         "seed": args.seed,
         "stages": list(args.stages),
+        "backend": args.backend or "default",
         "ok": counts["ok"],
         "rejected": counts["rejected"],
         "divergent": counts["divergent"],

@@ -24,6 +24,16 @@ A graceful :class:`~repro.passes.base.PassError` is a *rejection* (the
 compiler declined the kernel), not a divergence; any other failure —
 wrong bits, verifier errors, round-trip mismatches, or unexpected
 exceptions — is.
+
+The oracle also fuzzes the *simulator* itself: with ``backend="both"``
+every run (reference and stage) additionally executes on the
+warp-vectorized backend (:mod:`repro.sim.vectorized`) and any
+disagreement — differing bits, or differing error classification — is a
+first-class ``backend`` divergence the reducer can shrink like any
+miscompile.  Kernels the vectorized backend statically refuses
+(:class:`~repro.sim.vectorized.UnsupportedKernelError`) are skipped, not
+divergent.  A plain ``backend="vectorized"`` / ``"auto"`` instead runs
+the whole oracle on that backend.
 """
 
 from __future__ import annotations
@@ -43,7 +53,12 @@ from repro.lang.printer import print_kernel
 from repro.lang.semantic import SemanticError, check_kernel
 from repro.machine import GTX280, GpuSpec
 from repro.passes.base import PassError
-from repro.sim.interp import Interpreter, LaunchConfig
+from repro.sim.backend import default_backend, run_kernel
+from repro.sim.interp import LaunchConfig
+from repro.sim.vectorized import UnsupportedKernelError
+
+#: ``OracleOptions.backend`` values (``both`` cross-checks the backends).
+ORACLE_BACKENDS: Tuple[str, ...] = ("lockstep", "vectorized", "auto", "both")
 
 #: Cumulative stage keys, in pipeline order (= compile_stages keys).
 STAGE_NAMES: Tuple[str, ...] = ("naive", "+vectorize", "+coalesce",
@@ -55,7 +70,8 @@ class Divergence:
     """One way a stage disagreed with the naive kernel."""
 
     stage: str   # '' for failures before any stage ran
-    kind: str    # 'output' | 'verify' | 'roundtrip' | 'crash' | 'semantic'
+    # 'output' | 'verify' | 'roundtrip' | 'crash' | 'semantic' | 'backend'
+    kind: str
     detail: str
 
     def to_dict(self) -> Dict[str, str]:
@@ -75,6 +91,14 @@ class OracleOptions:
     check_verifier: bool = True
     check_roundtrip: bool = True
     compile_options: Optional[CompileOptions] = None
+    #: Simulator backend: lockstep | vectorized | auto | both; ``None``
+    #: follows the process default (``REPRO_SIM_BACKEND``).
+    backend: Optional[str] = None
+
+    def exec_backend(self) -> str:
+        """The backend the oracle's own runs use (``both`` => lockstep)."""
+        name = self.backend if self.backend is not None else default_backend()
+        return "lockstep" if name == "both" else name
 
 
 @dataclass
@@ -145,17 +169,24 @@ def make_arrays(kernel: Kernel, case: KernelCase) -> Dict[str, np.ndarray]:
 # Reference interpretation (no compiler involved)
 # ---------------------------------------------------------------------------
 
-def run_reference(kernel: Kernel, case: KernelCase,
-                  arrays: Dict[str, np.ndarray],
-                  machine: GpuSpec = GTX280) -> Dict[str, np.ndarray]:
-    """Interpret the naive kernel under a plain programmer's launch."""
+def reference_config(case: KernelCase,
+                     machine: GpuSpec = GTX280) -> LaunchConfig:
+    """The plain programmer's launch the reference run uses."""
     block = _naive_block(case.domain, machine)
     grid = (max(1, case.domain[0] // block[0]),
             max(1, case.domain[1] // block[1]))
-    config = LaunchConfig(grid=grid, block=block)
+    return LaunchConfig(grid=grid, block=block)
+
+
+def run_reference(kernel: Kernel, case: KernelCase,
+                  arrays: Dict[str, np.ndarray],
+                  machine: GpuSpec = GTX280,
+                  backend: Optional[str] = None) -> Dict[str, np.ndarray]:
+    """Interpret the naive kernel under a plain programmer's launch."""
+    config = reference_config(case, machine)
     work = {k: v.copy() for k, v in arrays.items()}
     scalars = {p.name: case.sizes[p.name] for p in kernel.scalar_params()}
-    Interpreter(kernel).run(config, work, scalars)
+    run_kernel(kernel, config, work, scalars, backend=backend)
     return work
 
 
@@ -199,12 +230,26 @@ def run_case(case: KernelCase,
 
     # -- reference run -----------------------------------------------------
     arrays = make_arrays(naive, case)
+    reference: Optional[Dict[str, np.ndarray]] = None
     try:
-        reference = run_reference(naive, case, arrays, opts.machine)
+        reference = run_reference(naive, case, arrays, opts.machine,
+                                  backend=opts.exec_backend())
+        ref_exc: Optional[BaseException] = None
     except Exception as exc:
+        ref_exc = exc
+    if opts.backend == "both":
+        config = reference_config(case, opts.machine)
+        scalars = {p.name: case.sizes[p.name]
+                   for p in naive.scalar_params()}
+        _cross_check_backends(
+            "reference",
+            lambda work, b: run_kernel(naive, config, work, scalars,
+                                       backend=b),
+            arrays, reference, ref_exc, result)
+    if ref_exc is not None:
         result.status = "divergent"
-        result.divergences.append(Divergence("", "crash",
-                                             "reference: " + _describe(exc)))
+        result.divergences.append(
+            Divergence("", "crash", "reference: " + _describe(ref_exc)))
         return result
 
     # -- compile every cumulative stage ------------------------------------
@@ -235,15 +280,60 @@ def run_case(case: KernelCase,
     return result
 
 
+def _cross_check_backends(stage, run_fn, arrays: Dict[str, np.ndarray],
+                          lockstep_work: Optional[Dict[str, np.ndarray]],
+                          lockstep_exc: Optional[BaseException],
+                          result: CaseResult) -> None:
+    """Run ``run_fn`` on the vectorized backend and demand agreement.
+
+    ``lockstep_work``/``lockstep_exc`` describe what the lockstep run
+    already produced; a kernel the vectorized backend statically refuses
+    is skipped, everything else must match bit-for-bit (or raise the
+    same exception class).
+    """
+    vwork = {k: v.copy() for k, v in arrays.items()}
+    try:
+        run_fn(vwork, "vectorized")
+        vec_exc: Optional[BaseException] = None
+    except UnsupportedKernelError:
+        return
+    except Exception as exc:
+        vec_exc = exc
+    lk = ("ok" if lockstep_exc is None
+          else type(lockstep_exc).__name__)
+    vk = "ok" if vec_exc is None else type(vec_exc).__name__
+    if lk != vk:
+        result.divergences.append(Divergence(
+            stage, "backend",
+            f"lockstep {lk} ({lockstep_exc}) vs vectorized "
+            f"{vk} ({vec_exc})".replace("(None)", "")))
+        return
+    if vec_exc is None and lockstep_work is not None:
+        mismatch = _first_mismatch(vwork, lockstep_work)
+        if mismatch:
+            result.divergences.append(Divergence(
+                stage, "backend", "vectorized differs from lockstep: "
+                + mismatch))
+
+
 def _check_stage(stage: str, ck, arrays: Dict[str, np.ndarray],
                  reference: Dict[str, np.ndarray], opts: OracleOptions,
                  result: CaseResult) -> None:
-    # 1. bit-exact output equivalence.
+    # 1. bit-exact output equivalence (and, in 'both' mode, bit-exact
+    #    agreement between the two simulator backends).
     work = {k: v.copy() for k, v in arrays.items()}
     try:
-        ck.run(work)
+        ck.run(work, backend=opts.exec_backend())
+        stage_exc: Optional[BaseException] = None
     except Exception as exc:
-        result.divergences.append(Divergence(stage, "crash", _describe(exc)))
+        stage_exc = exc
+    if opts.backend == "both":
+        _cross_check_backends(
+            stage, lambda w, b: ck.run(w, backend=b), arrays,
+            work if stage_exc is None else None, stage_exc, result)
+    if stage_exc is not None:
+        result.divergences.append(
+            Divergence(stage, "crash", _describe(stage_exc)))
         return
     mismatch = _first_mismatch(work, reference)
     if mismatch:
@@ -269,7 +359,8 @@ def _check_stage(stage: str, ck, arrays: Dict[str, np.ndarray],
             reparsed = parse_kernel(print_kernel(ck.kernel))
             check_kernel(reparsed, mode="optimized")
             redo = {k: v.copy() for k, v in arrays.items()}
-            replace(ck, kernel=reparsed).run(redo)
+            replace(ck, kernel=reparsed).run(redo,
+                                             backend=opts.exec_backend())
         except Exception as exc:
             result.divergences.append(
                 Divergence(stage, "roundtrip", _describe(exc)))

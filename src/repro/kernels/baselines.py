@@ -34,7 +34,8 @@ from repro.lang.parser import parse_kernel
 from repro.machine import GpuSpec
 from repro.reduction import CompiledReduction, ReductionPlan, \
     block_reduce_source, partial_reduce_source
-from repro.sim.interp import Interpreter, LaunchConfig
+from repro.sim.backend import run_kernel
+from repro.sim.interp import LaunchConfig
 from repro.sim.perf import PerfEstimate, estimate
 
 # -- matrix multiplication ---------------------------------------------------
@@ -188,7 +189,7 @@ class Baseline:
         else:
             arrays_in = arrays
         scalars = {p.name: sizes[p.name] for p in kernel.scalar_params()}
-        Interpreter(kernel).run(self.config(sizes), arrays_in, scalars)
+        run_kernel(kernel, self.config(sizes), arrays_in, scalars)
 
     def estimate(self, sizes: Dict[str, int],
                  machine: GpuSpec) -> PerfEstimate:

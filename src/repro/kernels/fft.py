@@ -31,7 +31,8 @@ import numpy as np
 
 from repro.lang.parser import parse_kernel
 from repro.machine import GTX280, GpuSpec
-from repro.sim.interp import Interpreter, LaunchConfig
+from repro.sim.backend import run_kernel
+from repro.sim.interp import LaunchConfig
 from repro.sim.perf import estimate
 
 # One radix-2 DIT butterfly per thread.  For stage half-size h, thread j
@@ -199,8 +200,8 @@ def run_fft(data: np.ndarray, radix8: bool = False) -> np.ndarray:
         block = min(64, threads)
         config = LaunchConfig(grid=(max(1, threads // block), 1),
                               block=(block, 1))
-        Interpreter(kernels[name]).run(config, {"xr": xr, "xi": xi},
-                                       {"n": n, "h": h})
+        run_kernel(kernels[name], config, {"xr": xr, "xi": xi},
+                   {"n": n, "h": h})
     return xr.astype(np.complex128) + 1j * xi.astype(np.complex128)
 
 

@@ -52,7 +52,8 @@ from repro.lang.parser import parse_kernel
 from repro.lang.printer import print_kernel
 from repro.machine import GTX280, GpuSpec
 from repro.passes.base import PassError
-from repro.sim.interp import Interpreter, LaunchConfig
+from repro.sim.backend import run_kernel
+from repro.sim.interp import LaunchConfig
 
 
 @dataclass
@@ -240,7 +241,8 @@ class CompiledReduction:
             size = grid
         return out
 
-    def run(self, data: np.ndarray) -> float:
+    def run(self, data: np.ndarray,
+            backend: Optional[str] = None) -> float:
         """Reduce ``data`` on the functional simulator; returns the result.
 
         ``data`` is the flat float32 input (for the complex styles, the
@@ -260,13 +262,14 @@ class CompiledReduction:
         else:
             arrays = {"a": data, "partial": partial}
             scalars = {"n2": 2 * self.n_elements, "nb": nb}
-        Interpreter(self.stage1).run(config1, arrays, scalars)
+        run_kernel(self.stage1, config1, arrays, scalars,
+                   backend=backend)
         current = partial
         for _, config, size in launches[1:]:
             nxt = np.zeros(config.grid[0], dtype=np.float32)
-            Interpreter(self.stage2).run(
-                config, {"a": current, "partial": nxt},
-                {"n": size, "nb": config.grid[0]})
+            run_kernel(self.stage2, config,
+                       {"a": current, "partial": nxt},
+                       {"n": size, "nb": config.grid[0]}, backend=backend)
             current = nxt
         return float(current[0])
 

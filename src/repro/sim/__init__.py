@@ -12,16 +12,33 @@ Two layers (see DESIGN.md):
   memory rules (coalescing, partitions, shared-memory banks).
 """
 
+from repro.sim.backend import (
+    BACKENDS,
+    default_backend,
+    run_kernel,
+    set_default_backend,
+)
 from repro.sim.interp import Interpreter, LaunchConfig, launch
 from repro.sim.memory import GlobalMemory, SharedMemory
+from repro.sim.phases import BarrierSite, PhaseSlicing, slice_phases
 from repro.sim.values import Float2, Float4
+from repro.sim.vectorized import UnsupportedKernelError, VectorizedInterpreter
 
 __all__ = [
+    "BACKENDS",
+    "BarrierSite",
     "Float2",
     "Float4",
     "GlobalMemory",
     "Interpreter",
     "LaunchConfig",
+    "PhaseSlicing",
     "SharedMemory",
+    "UnsupportedKernelError",
+    "VectorizedInterpreter",
+    "default_backend",
     "launch",
+    "run_kernel",
+    "set_default_backend",
+    "slice_phases",
 ]

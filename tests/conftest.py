@@ -1,7 +1,18 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
+
+from repro.sim.backend import set_default_backend
+
+# The CI matrix re-runs the whole suite under each simulator backend;
+# make the env var authoritative even if repro.sim.backend was imported
+# before pytest set it.
+_BACKEND_ENV = os.environ.get("REPRO_SIM_BACKEND")
+if _BACKEND_ENV:
+    set_default_backend(_BACKEND_ENV)
 
 MM_SRC = """
 __global__ void mm(float a[n][w], float b[w][m], float c[n][m], int n, int m, int w) {

@@ -1,0 +1,87 @@
+"""Perf-regression pins for the backend speedup bench.
+
+Three layers:
+
+* smoke-run ``benchmarks/bench_backend.py`` on tiny launches so the
+  bench itself cannot rot;
+* validate the committed ``BENCH_backend.json`` against its versioned
+  ``repro.bench-backend/1`` envelope;
+* assert the headline claim — vectorized is not slower than lockstep on
+  the mm kernel at the bench shape, and the committed record shows the
+  >=10x speedup the backend exists for.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_backend.json"
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_backend", ROOT / "benchmarks" / "bench_backend.py")
+bench_backend = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_backend)
+
+REQUIRED_ROW_KEYS = {"kernel", "scale", "sizes", "launch", "threads",
+                     "lockstep_s", "vectorized_s", "speedup",
+                     "bit_identical"}
+
+
+@pytest.fixture(scope="module")
+def smoke_envelope():
+    """One tiny-launch bench run shared by the smoke assertions."""
+    return bench_backend.run_bench(
+        scales={"mm": 16, "tp": 32, "rd": 1 << 10}, repeats=1)
+
+
+class TestSmokeRun:
+    def test_envelope_shape(self, smoke_envelope):
+        assert smoke_envelope["schema"] == bench_backend.BENCH_SCHEMA
+        assert {r["kernel"] for r in smoke_envelope["results"]} == \
+            {"mm", "tp", "rd"}
+        for row in smoke_envelope["results"]:
+            assert REQUIRED_ROW_KEYS <= set(row)
+
+    def test_backends_bit_identical(self, smoke_envelope):
+        for row in smoke_envelope["results"]:
+            assert row["bit_identical"], \
+                f"{row['kernel']}: backends disagreed during the bench"
+
+    def test_vectorized_not_slower_on_mm(self, smoke_envelope):
+        (mm,) = [r for r in smoke_envelope["results"]
+                 if r["kernel"] == "mm"]
+        assert mm["vectorized_s"] <= mm["lockstep_s"], (
+            f"vectorized ({mm['vectorized_s']:.4f}s) slower than lockstep "
+            f"({mm['lockstep_s']:.4f}s) on mm at scale {mm['scale']}")
+
+
+class TestCommittedRecord:
+    @pytest.fixture(scope="class")
+    def envelope(self):
+        assert BENCH_JSON.exists(), \
+            "BENCH_backend.json must be committed at the repo root"
+        return json.loads(BENCH_JSON.read_text())
+
+    def test_schema(self, envelope):
+        assert envelope["schema"] == "repro.bench-backend/1"
+        assert envelope["machine"]
+        assert isinstance(envelope["repeats"], int)
+        for row in envelope["results"]:
+            assert REQUIRED_ROW_KEYS <= set(row)
+            assert row["lockstep_s"] > 0 and row["vectorized_s"] > 0
+            assert row["speedup"] == pytest.approx(
+                row["lockstep_s"] / row["vectorized_s"])
+            assert row["bit_identical"] is True
+
+    def test_mm_speedup_at_least_10x(self, envelope):
+        """The acceptance headline: >=10x on mm at the recorded shape."""
+        (mm,) = [r for r in envelope["results"] if r["kernel"] == "mm"]
+        assert mm["speedup"] >= 10.0
+        assert mm["launch"] is not None
+
+    def test_suite_kernels_all_recorded(self, envelope):
+        assert {r["kernel"] for r in envelope["results"]} >= \
+            {"mm", "tp", "rd"}

@@ -1,0 +1,146 @@
+"""Regression pins for the shared barrier-phase slicing semantics.
+
+``repro.sim.phases`` is the single definition both the static race
+detector and the warp-vectorized simulator backend build on.  These
+tests pin the two semantic decisions the consumers must agree on:
+
+* a **conditional barrier does not split a phase** — only the guarded
+  thread subset synchronizes, so the race detector keeps comparing
+  accesses across it (conservative: false positives only) and the
+  vectorized backend statically refuses the kernel instead of running
+  past a barrier the lockstep scheduler would honor;
+* a **barrier-stepped loop has a back edge** — its tail phase
+  co-executes with the next iteration's head phase, so the two are
+  unioned (together with the loop's surroundings) and the loop is
+  recorded as *phased* (iterator approximately uniform per phase).
+"""
+
+from repro.analysis.races import check_races
+from repro.lang.parser import parse_kernel
+from repro.sim.phases import slice_phases
+from repro.sim.vectorized import unsupported_reasons
+
+COND_BARRIER = """
+__global__ void k(float a[n], int n) {
+    __shared__ float s[16];
+    s[tidx] = a[idx];
+    if (tidx < 8)
+        __syncthreads();
+    a[idx] = s[15 - tidx];
+}
+"""
+
+UNCOND_BARRIER = """
+__global__ void k(float a[n], int n) {
+    __shared__ float s[16];
+    s[tidx] = a[idx];
+    __syncthreads();
+    a[idx] = s[15 - tidx];
+}
+"""
+
+BARRIER_LOOP = """
+__global__ void k(float a[n], int n) {
+    __shared__ float s[16];
+    for (int i = 0; i < n; i = i + 16) {
+        s[tidx] = a[idx];
+        __syncthreads();
+        a[idx] = s[15 - tidx] + i;
+        __syncthreads();
+    }
+}
+"""
+
+THREAD_DEP_BARRIER_LOOP = """
+__global__ void k(float a[n], int n) {
+    __shared__ float s[16];
+    for (int i = 0; i < tidx + 1; i = i + 1) {
+        s[tidx] = a[idx] + i;
+        __syncthreads();
+    }
+}
+"""
+
+
+def _stmts(kernel):
+    return kernel.body
+
+
+class TestConditionalBarrier:
+    """Pinned: a guarded barrier separates nothing."""
+
+    def test_does_not_split_phase(self):
+        kernel = parse_kernel(COND_BARRIER)
+        slicing = slice_phases(kernel)
+        store, _guard, load = _stmts(kernel)[1:]
+        assert slicing.same_phase(store, load), \
+            "conditional barrier must NOT split the phase"
+        (site,) = slicing.barriers
+        assert site.conditional
+        assert len(site.guards) == 1
+
+    def test_race_detector_stays_conservative(self):
+        """The cross-barrier conflict is still reported as a race."""
+        kernel = parse_kernel(COND_BARRIER)
+        diags = check_races(kernel, {"n": 16}, block=(16, 1))
+        assert any(d.analysis == "races" for d in diags), \
+            "conditional barrier must not suppress race detection"
+
+    def test_vectorized_backend_refuses(self):
+        kernel = parse_kernel(COND_BARRIER)
+        reasons = unsupported_reasons(kernel)
+        assert reasons, "conditional barrier must be unsupported"
+        assert "conditional" in " ".join(reasons)
+
+
+class TestUnconditionalBarrier:
+    """The straight-line barrier both splits and vectorizes."""
+
+    def test_splits_phase(self):
+        kernel = parse_kernel(UNCOND_BARRIER)
+        slicing = slice_phases(kernel)
+        store, _sync, load = _stmts(kernel)[1:]
+        assert not slicing.same_phase(store, load)
+        (site,) = slicing.barriers
+        assert not site.conditional
+
+    def test_no_race_reported(self):
+        kernel = parse_kernel(UNCOND_BARRIER)
+        assert check_races(kernel, {"n": 16}, block=(16, 1)) == []
+
+    def test_vectorized_backend_accepts(self):
+        assert unsupported_reasons(parse_kernel(UNCOND_BARRIER)) == []
+
+
+class TestLoopBackEdge:
+    """Pinned: barrier-stepped loops union tail with next-iteration head."""
+
+    def test_tail_unions_with_head(self):
+        kernel = parse_kernel(BARRIER_LOOP)
+        slicing = slice_phases(kernel)
+        loop = _stmts(kernel)[1]
+        fill, _s1, drain, _s2 = loop.body
+        # Within one iteration the two barriers do separate fill/drain...
+        assert not slicing.same_phase(fill, drain)
+        # ...but the tail region (after the last barrier) co-executes with
+        # the next iteration's head region (before the first barrier).
+        assert slicing.is_phased_loop(loop)
+        assert slicing.phase_of(fill) == slicing.phase_of(loop), \
+            "head phase must union with the region surrounding the loop"
+
+    def test_uniform_barrier_loop_vectorizes(self):
+        assert unsupported_reasons(parse_kernel(BARRIER_LOOP)) == []
+
+    def test_thread_dependent_barrier_loop_refused(self):
+        reasons = unsupported_reasons(parse_kernel(THREAD_DEP_BARRIER_LOOP))
+        assert reasons
+        assert "tidx" in " ".join(reasons)
+
+
+def test_analysis_shim_reexports_sim_phases():
+    """repro.analysis.phases stays importable and is the same object."""
+    from repro.analysis import phases as shim
+    from repro.sim import phases as canonical
+    assert shim.slice_phases is canonical.slice_phases
+    assert shim.PhaseSlicing is canonical.PhaseSlicing
+    assert shim.BarrierSite is canonical.BarrierSite
