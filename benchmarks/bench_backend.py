@@ -111,12 +111,11 @@ def run_bench(scales: Optional[Dict[str, int]] = None,
             results.append(_bench_reduction(scale, repeats))
         else:
             results.append(_bench_compiled(name, scale, repeats))
-    return {
-        "schema": BENCH_SCHEMA,
-        "machine": GTX280.name,
-        "repeats": repeats,
-        "results": results,
-    }
+    from repro.obs.envelope import make_envelope
+    return make_envelope(BENCH_SCHEMA,
+                         machine=GTX280.name,
+                         repeats=repeats,
+                         results=results)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -9,20 +9,28 @@ Usage::
     python -m repro lint [KERNEL ...] [--stage STAGE] [--scale N] [--json]
 
     python -m repro fuzz [--seed N] [--count M] [--stages S1,S2] \
-        [--backend lockstep|vectorized|auto|both] [--json]
+        [--backend lockstep|vectorized|auto|both] [--json] [--profile]
+
+    python -m repro profile [KERNEL ...] [--stage STAGE] [--scale N] \
+        [--backend both] [--tolerance F] [--json]
 
 The first form prints the optimized kernel, the launch configuration, the
 compiler's decision log, and the analytic performance estimate; with
 ``--verify`` the static analyses (races / divergence / bounds / banks) run
-on the result and error findings abort compilation. The ``lint`` form runs
-those analyses over suite kernels at every pipeline stage; the ``fuzz``
-form differentially tests generated naive kernels against the functional
-interpreter (see :mod:`repro.fuzz`).
+on the result and error findings abort compilation, ``--trace OUT.JSONL``
+writes the structured compilation trace, and ``--explain`` prints decision
+records with provenance (pass, rule, source line). The ``lint`` form runs
+the static analyses over suite kernels at every pipeline stage; the
+``fuzz`` form differentially tests generated naive kernels against the
+functional interpreter (see :mod:`repro.fuzz`); the ``profile`` form runs
+suite kernels under the simulator's dynamic hardware counters and gates
+on drift against the static model (see :mod:`repro.obs.report`).
 
 All subcommands share one convention: exit code 0 = clean, 1 = findings
-(lint errors / fuzz divergences / compile failure), 2 = usage error, and
-``--json`` emits a single versioned envelope object (``repro.lint/1`` /
-``repro.fuzz/1``) documented in the README.
+(lint errors / fuzz divergences / profile drift / compile failure), 2 =
+usage error, and ``--json`` emits a single versioned envelope object
+(``repro.lint/1`` / ``repro.fuzz/1`` / ``repro.profile/1``) documented in
+the README.
 """
 
 from __future__ import annotations
@@ -87,6 +95,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "fuzz":
         from repro.fuzz.cli import fuzz_main
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.obs.report import profile_main
+        return profile_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -116,6 +127,13 @@ def main(argv=None) -> int:
                         choices=BACKENDS,
                         help="simulator execution backend for test runs "
                              "(default: REPRO_SIM_BACKEND or lockstep)")
+    parser.add_argument("--trace", metavar="OUT.JSONL", default=None,
+                        help="write the structured compilation trace as "
+                             "repro.trace/1 JSON-Lines")
+    parser.add_argument("--explain", action="store_true",
+                        help="print decision records with provenance "
+                             "(pass, rule, source line) instead of the "
+                             "plain log")
     parser.add_argument("--quiet", action="store_true",
                         help="print only the optimized kernel")
     args = parser.parse_args(argv)
@@ -141,6 +159,10 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    if args.trace:
+        compiled.trace.write_jsonl(args.trace, kernel=compiled.name,
+                                   stage=args.stage, machine=args.machine)
+
     print(compiled.source, end="")
     if args.quiet:
         return 0
@@ -155,10 +177,44 @@ def main(argv=None) -> int:
         print(f"// measured on simulator "
               f"({args.backend or 'default'} backend): "
               f"{result.best.measured_s * 1e3:.3f} ms")
+        print("// explored candidates (block merge x thread merge):")
+        for v in result.versions:
+            if not v.feasible:
+                print(f"//   bm={v.block_merge:2} tm={v.thread_merge:2}: "
+                      f"infeasible ({v.error})")
+                continue
+            counters = ""
+            if v.profile is not None:
+                counters = (f", {v.profile.global_transactions} "
+                            f"transactions, "
+                            f"{v.profile.shared_conflict_cycles} "
+                            f"conflict cycles, "
+                            f"{v.profile.barriers} barriers")
+            print(f"//   bm={v.block_merge:2} tm={v.thread_merge:2}: "
+                  f"{v.measured_s * 1e3:.3f} ms{counters}")
     print("//")
-    print("// decision log:")
-    for line in compiled.log:
-        print(f"//   {line}")
+    if args.explain:
+        print("// decision log (structured):")
+        for event in compiled.trace.decisions:
+            tag = event.pass_name or "driver"
+            if event.rule:
+                tag += f" {event.rule}"
+            head = "warning" if event.kind == "warning" else "decision"
+            print(f"//   [{tag}] {head}: {event.message}")
+            if event.location:
+                print(f"//       at: {event.location}")
+            if event.before or event.after:
+                print(f"//       before: {event.before}")
+                print(f"//       after:  {event.after}")
+        times = compiled.trace.pass_times()
+        if times:
+            print("// pass times:")
+            for name, seconds in times.items():
+                print(f"//   {name}: {seconds * 1e3:.2f} ms")
+    else:
+        print("// decision log:")
+        for line in compiled.log:
+            print(f"//   {line}")
     return 0
 
 
@@ -228,18 +284,19 @@ def lint_main(argv=None) -> int:
     warnings = [d for d in diagnostics if d.severity is Severity.WARNING]
     exit_code = 1 if errors or failed_compiles else 0
     if args.as_json:
-        print(json.dumps({
-            "schema": "repro.lint/1",
-            "command": "lint",
-            "exit_code": exit_code,
-            "summary": {
+        from repro.obs.envelope import make_envelope
+        print(json.dumps(make_envelope(
+            "repro.lint/1",
+            command="lint",
+            exit_code=exit_code,
+            summary={
                 "checked": checked,
                 "errors": len(errors),
                 "warnings": len(warnings),
                 "failed_compiles": failed_compiles,
             },
-            "diagnostics": [d.to_dict() for d in diagnostics],
-        }, indent=2))
+            diagnostics=[d.to_dict() for d in diagnostics],
+        ), indent=2))
         return exit_code
     if not args.quiet:
         for d in diagnostics:

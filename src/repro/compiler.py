@@ -91,6 +91,11 @@ class CompiledKernel:
     def log(self) -> List[str]:
         return self.ctx.log
 
+    @property
+    def trace(self):
+        """The structured compilation trace (:class:`repro.obs.trace.Tracer`)."""
+        return self.ctx.trace
+
     def size_bindings(self) -> Dict[str, int]:
         """Scalar size bindings, with vector-halved extents adjusted."""
         out = dict(self.ctx.sizes)
@@ -100,13 +105,17 @@ class CompiledKernel:
 
     def run(self, arrays: Dict[str, np.ndarray],
             scalars: Optional[Dict[str, object]] = None,
-            trace=None, backend: Optional[str] = None) -> None:
+            trace=None, backend: Optional[str] = None,
+            profile=None) -> str:
         """Execute on the functional simulator; ``arrays`` mutate in place.
 
         Float arrays for ``float2`` parameters may be passed flat; they are
         viewed as ``(n/2, 2)`` automatically.  ``backend`` selects the
         execution backend (see :mod:`repro.sim.backend`); the default
-        follows the process-wide setting.
+        follows the process-wide setting.  ``profile`` accepts a
+        :class:`repro.obs.profile.ProfileCollector` that both backends
+        feed with dynamic hardware counters.  Returns the name of the
+        backend that ran.
         """
         bound = dict(arrays)
         for p in self.kernel.array_params():
@@ -122,8 +131,23 @@ class CompiledKernel:
             merged.update(scalars)
         args = {p.name: merged[p.name]
                 for p in self.kernel.scalar_params()}
-        run_kernel(self.kernel, self.config, bound, args,
-                   backend=backend, trace=trace)
+        return run_kernel(self.kernel, self.config, bound, args,
+                          backend=backend, trace=trace, profile=profile)
+
+    def profile(self, arrays: Dict[str, np.ndarray],
+                scalars: Optional[Dict[str, object]] = None,
+                backend: Optional[str] = None):
+        """Run once under a profiler; returns the ``KernelProfile``.
+
+        Inputs are copied first, so the caller's arrays are untouched and
+        the same data can be profiled across backends or stages.
+        """
+        from repro.obs.profile import ProfileCollector
+        collector = ProfileCollector(self.kernel, self.config)
+        copied = {name: np.array(a, copy=True)
+                  for name, a in arrays.items()}
+        used = self.run(copied, scalars, backend=backend, profile=collector)
+        return collector.finalize(used)
 
 
 def compile_kernel(source: Union[str, Kernel],
@@ -179,22 +203,22 @@ def _compile_once(naive: Kernel, sizes: Dict[str, int],
     ctx = CompilationContext(kernel=work, sizes=dict(sizes), domain=domain,
                              machine=machine)
     if options.enable_vectorize:
-        VectorizePass().run(ctx)
+        VectorizePass()(ctx)
 
     # -- stage 2: plan merges on a scratch staging --------------------------
     merge_plan: Optional[MergePlan] = None
     block = (HALF_WARP, 1)
     if options.enable_coalesce:
-        merge_plan = plan_merges(work, ctx.sizes, domain, machine)
-        for r in merge_plan.reasons:
-            ctx.note(f"plan: {r}")
+        with ctx.trace.span("plan"):
+            merge_plan = plan_merges(work, ctx.sizes, domain, machine)
+            for r in merge_plan.reasons:
+                ctx.note(f"plan: {r}", rule="plan.sharing")
         if options.enable_merge:
             block = _choose_block(merge_plan, options, domain, machine)
 
     # -- stage 3: generate staging for the final block shape ----------------
     if options.enable_coalesce:
-        coalesce = CoalesceTransformPass(block=block)
-        coalesce.run(ctx)
+        CoalesceTransformPass(block=block)(ctx)
     else:
         ctx.block = _naive_block(domain, machine)
 
@@ -207,32 +231,35 @@ def _compile_once(naive: Kernel, sizes: Dict[str, int],
             options.thread_merge_x, merge_plan.thread_merge_x,
             domain[0], ctx.block[0], default=4)
         if tm_y > 1:
-            ThreadMergePass("y", tm_y).run(ctx)
+            ThreadMergePass("y", tm_y)(ctx)
         if tm_x > 1:
-            ThreadMergePass("x", tm_x).run(ctx)
+            ThreadMergePass("x", tm_x)(ctx)
 
     # -- stage 5: partition camping -----------------------------------------
     if options.enable_partition:
-        PartitionCampingPass().run(ctx)
+        PartitionCampingPass()(ctx)
 
     # -- stage 6: prefetch (register budget permitting) ----------------------
     if options.enable_prefetch:
         if ctx.partition_fix == "offset":
             ctx.note("prefetch: skipped (address-offset rotation makes the "
-                     "next-iteration source non-affine)")
+                     "next-iteration source non-affine)",
+                     rule="prefetch.skip.partition-offset")
         elif not _registers_allow_prefetch(ctx):
             ctx.note("prefetch: skipped, registers already consumed by "
-                     "thread merge (Section 6.2)")
+                     "thread merge (Section 6.2)",
+                     rule="prefetch.skip.registers",
+                     est_registers=ctx.est_registers)
         else:
-            PrefetchPass().run(ctx)
+            PrefetchPass()(ctx)
 
     # -- stage 7: index-expression cleanup ------------------------------------
     from repro.passes.simplify import SimplifyPass
-    SimplifyPass().run(ctx)
+    SimplifyPass()(ctx)
 
     # -- stage 8: launch parameters ------------------------------------------
     launch = LaunchPass()
-    launch.run(ctx)
+    launch(ctx)
     check_kernel(ctx.kernel, mode="optimized")
     compiled = CompiledKernel(
         name=ctx.kernel.name, kernel=ctx.kernel, config=launch.plan.config,
@@ -242,9 +269,16 @@ def _compile_once(naive: Kernel, sizes: Dict[str, int],
     # -- stage 9: optional static verification --------------------------------
     if options.verify:
         from repro.analysis import verify_compiled
-        report = verify_compiled(compiled)
-        for diag in report.warnings + report.infos:
-            ctx.note(f"verify: {diag.render()}")
+        with ctx.trace.span("verify"):
+            report = verify_compiled(compiled)
+            for diag in report.warnings + report.infos:
+                ctx.warn(f"verify: {diag.render()}",
+                         rule=f"verify.{diag.analysis}",
+                         stmt=diag.stmt,
+                         severity=str(diag.severity),
+                         array=diag.array or "",
+                         analysis=diag.analysis)
+                ctx.trace.count("findings")
         if report.has_errors:
             raise PassError(
                 "static verification failed:\n"

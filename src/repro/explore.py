@@ -56,6 +56,9 @@ class Version:
     error: Optional[str] = None
     #: Wall-clock seconds of a simulator test run (``measure="sim"``).
     measured_s: Optional[float] = None
+    #: Dynamic hardware counters of the test run (``measure="sim"``);
+    #: a :class:`repro.obs.profile.KernelProfile`.
+    profile: Optional[object] = None
 
     @property
     def feasible(self) -> bool:
@@ -104,6 +107,16 @@ def measure_compiled(compiled: CompiledKernel,
     return time.perf_counter() - start
 
 
+def profile_compiled(compiled: CompiledKernel,
+                     backend: Optional[str] = None):
+    """Dynamic counters of one test run (``KernelProfile``).
+
+    A separate launch from :func:`measure_compiled` so the profiling
+    hooks never distort the timed run.
+    """
+    return compiled.profile(_bench_arrays(compiled), backend=backend)
+
+
 def explore(source: str, sizes: Dict[str, int], domain: Tuple[int, int],
             machine: GpuSpec = GTX280,
             block_factors: Sequence[int] = BLOCK_MERGE_FACTORS,
@@ -144,6 +157,8 @@ def explore(source: str, sizes: Dict[str, int], domain: Tuple[int, int],
                 if measure == "sim":
                     version.measured_s = measure_compiled(compiled,
                                                           backend=backend)
+                    version.profile = profile_compiled(compiled,
+                                                       backend=backend)
                 versions.append(version)
             except PassError as exc:
                 versions.append(Version(bm, tm, None, None, str(exc)))

@@ -22,6 +22,7 @@ from repro.fuzz.oracle import (
 )
 from repro.fuzz.reduce import reduce_case, source_lines
 from repro.machine import MACHINES, machine
+from repro.obs.envelope import make_envelope
 
 #: JSON envelope schema tag for fuzz runs.
 FUZZ_SCHEMA = "repro.fuzz/1"
@@ -66,6 +67,10 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
                              "cross-checks lockstep against vectorized and "
                              "reports disagreements as divergences "
                              "(default: the process default backend)")
+    parser.add_argument("--profile", action="store_true",
+                        help="also profile every stage on both backends "
+                             "and treat any dynamic-counter mismatch as a "
+                             "divergence")
     parser.add_argument("--corpus-dir", default="tests/corpus",
                         help="where reduced reproducers are written "
                              "(default: tests/corpus)")
@@ -88,7 +93,8 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     opts = OracleOptions(stages=args.stages, machine=machine(args.machine),
-                         backend=args.backend)
+                         backend=args.backend,
+                         check_profile=args.profile)
     cases_json = []
     counts = {"ok": 0, "rejected": 0, "divergent": 0}
     divergent_names = []
@@ -142,13 +148,13 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         "divergent": counts["divergent"],
     }
     if args.as_json:
-        print(json.dumps({
-            "schema": FUZZ_SCHEMA,
-            "command": "fuzz",
-            "exit_code": exit_code,
-            "summary": summary,
-            "cases": cases_json,
-        }, indent=2))
+        print(json.dumps(make_envelope(
+            FUZZ_SCHEMA,
+            command="fuzz",
+            exit_code=exit_code,
+            summary=summary,
+            cases=cases_json,
+        ), indent=2))
     else:
         print(f"fuzz: {args.count} case(s) from seed {args.seed}: "
               f"{counts['ok']} ok, {counts['rejected']} rejected, "

@@ -70,7 +70,8 @@ class Divergence:
     """One way a stage disagreed with the naive kernel."""
 
     stage: str   # '' for failures before any stage ran
-    # 'output' | 'verify' | 'roundtrip' | 'crash' | 'semantic' | 'backend'
+    # 'output' | 'verify' | 'roundtrip' | 'crash' | 'semantic' |
+    # 'backend' | 'profile'
     kind: str
     detail: str
 
@@ -94,6 +95,10 @@ class OracleOptions:
     #: Simulator backend: lockstep | vectorized | auto | both; ``None``
     #: follows the process default (``REPRO_SIM_BACKEND``).
     backend: Optional[str] = None
+    #: Also profile every stage on both backends and demand bit-identical
+    #: dynamic counters — a mismatch is a first-class ``profile``
+    #: divergence the reducer shrinks like any miscompile.
+    check_profile: bool = False
 
     def exec_backend(self) -> str:
         """The backend the oracle's own runs use (``both`` => lockstep)."""
@@ -316,6 +321,30 @@ def _cross_check_backends(stage, run_fn, arrays: Dict[str, np.ndarray],
                 + mismatch))
 
 
+def _cross_check_profiles(stage: str, ck, arrays: Dict[str, np.ndarray],
+                          result: CaseResult) -> None:
+    """Profile the stage on both backends; counters must be bit-equal.
+
+    Kernels the vectorized backend statically refuses are skipped (there
+    is only one backend to measure); everything else must produce the
+    same transactions, conflicts, barriers, and divergence counts.
+    """
+    try:
+        lock = ck.profile(arrays, backend="lockstep")
+        vec = ck.profile(arrays, backend="vectorized")
+    except UnsupportedKernelError:
+        return
+    except Exception as exc:
+        result.divergences.append(
+            Divergence(stage, "profile", "profiler: " + _describe(exc)))
+        return
+    diff = lock.first_mismatch(vec)
+    if diff:
+        result.divergences.append(Divergence(
+            stage, "profile",
+            f"counters differ across backends: {diff}"))
+
+
 def _check_stage(stage: str, ck, arrays: Dict[str, np.ndarray],
                  reference: Dict[str, np.ndarray], opts: OracleOptions,
                  result: CaseResult) -> None:
@@ -338,6 +367,10 @@ def _check_stage(stage: str, ck, arrays: Dict[str, np.ndarray],
     mismatch = _first_mismatch(work, reference)
     if mismatch:
         result.divergences.append(Divergence(stage, "output", mismatch))
+
+    # 1b. dynamic counters agree bit-for-bit across backends.
+    if opts.check_profile:
+        _cross_check_profiles(stage, ck, arrays, result)
 
     # 2. static verifier stays clean (errors only; warnings are tallied).
     if opts.check_verifier:

@@ -1,0 +1,26 @@
+"""Observability layer: structured traces, dynamic profiles, drift reports.
+
+Three cooperating pieces (see README "Observability"):
+
+* :mod:`repro.obs.envelope` — the one JSON envelope convention every CLI
+  subcommand and benchmark record uses (``repro.<tool>/<version>``);
+* :mod:`repro.obs.trace` — the span/decision emitter the compilation
+  pipeline records onto (``repro.trace/1``), replacing the old
+  unstructured ``CompilationContext.log`` string list (which survives as
+  a rendered *view* of the decision events);
+* :mod:`repro.obs.profile` — dynamic hardware counters collected by both
+  simulator backends (``repro.profile/1``), cross-validated against the
+  static cost model by :mod:`repro.obs.report`.
+"""
+
+from repro.obs.envelope import EnvelopeError, make_envelope, validate_envelope
+from repro.obs.trace import TraceEvent, Tracer, TRACE_SCHEMA
+
+__all__ = [
+    "EnvelopeError",
+    "make_envelope",
+    "validate_envelope",
+    "TraceEvent",
+    "Tracer",
+    "TRACE_SCHEMA",
+]

@@ -1,0 +1,270 @@
+"""Structured compilation tracing: spans, decisions, warnings, counters.
+
+The compiler used to record its decisions as a bare list of strings
+(``CompilationContext.log``).  That rendering survives — it is what
+``python -m repro`` prints as the decision log — but it is now a *view*
+over structured :class:`TraceEvent` records carrying provenance: which
+pass emitted the event (span attribution), which rule fired, the printed
+source line the decision anchors to, and before/after snippets where a
+transform rewrote code.  Pass boundaries are timed spans with wall-clock
+durations and per-pass counters, so a trace answers both "why did the
+compiler do that" and "where did compile time go".
+
+Serialization is a versioned ``repro.trace/1`` JSON-Lines stream: the
+first line is the envelope header (schema tag, kernel, event count), each
+following line one event.  :meth:`Tracer.to_envelope` produces the same
+data as a single JSON object for in-memory consumers and the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, TextIO, Union
+
+from repro.obs.envelope import make_envelope, validate_envelope
+
+#: Envelope schema tag for serialized traces.
+TRACE_SCHEMA = "repro.trace/1"
+
+#: Event kinds, in the order a reader will meet them.
+EVENT_KINDS = ("span_start", "span_end", "decision", "warning")
+
+
+def snippet(node, max_chars: int = 72) -> str:
+    """A one-line printed-source snippet locating an AST statement or
+    expression (the AST carries no file positions; the printed form is
+    exactly what the CLI shows the user)."""
+    if node is None:
+        return ""
+    from repro.lang.astnodes import Expr, Stmt
+    from repro.lang.printer import print_expr, print_stmt
+    try:
+        if isinstance(node, Expr):
+            text = print_expr(node)
+        elif isinstance(node, Stmt):
+            text = print_stmt(node)
+        else:
+            return f"<{type(node).__name__}>"
+    except (TypeError, AttributeError):
+        return f"<{type(node).__name__}>"
+    first = text.strip().splitlines()[0].rstrip("{").strip()
+    if len(first) > max_chars:
+        first = first[: max_chars - 3] + "..."
+    return first
+
+
+@dataclass
+class TraceEvent:
+    """One record of the compilation trace."""
+
+    kind: str                     # see EVENT_KINDS
+    seq: int                      # monotonic per-tracer sequence number
+    t_s: float                    # seconds since the tracer started
+    pass_name: str = ""           # innermost active span ('' = driver)
+    message: str = ""             # human-readable line (the legacy view)
+    rule: str = ""                # machine-readable rule id that fired
+    location: str = ""            # printed source line the event anchors to
+    before: str = ""              # snippet before a rewrite
+    after: str = ""               # snippet after a rewrite
+    duration_s: Optional[float] = None            # span_end only
+    counters: Optional[Dict[str, float]] = None   # span_end only
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "seq": self.seq,
+            "t_s": round(self.t_s, 6),
+            "pass": self.pass_name,
+        }
+        for key in ("message", "rule", "location", "before", "after"):
+            value = getattr(self, key)
+            if value:
+                out[key] = value
+        if self.duration_s is not None:
+            out["duration_s"] = round(self.duration_s, 6)
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.details:
+            out["details"] = dict(self.details)
+        return out
+
+
+class _SpanFrame:
+    __slots__ = ("name", "start", "counters")
+
+    def __init__(self, name: str, start: float):
+        self.name = name
+        self.start = start
+        self.counters: Dict[str, float] = {}
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records for one compilation."""
+
+    def __init__(self):
+        self._t0 = time.perf_counter()
+        self._seq = 0
+        self._stack: List[_SpanFrame] = []
+        self.events: List[TraceEvent] = []
+
+    # -- span management ----------------------------------------------------
+
+    @property
+    def current_pass(self) -> str:
+        return self._stack[-1].name if self._stack else ""
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time one pass (or pipeline phase); events inside attribute to it."""
+        now = time.perf_counter()
+        frame = _SpanFrame(name, now)
+        self._emit(TraceEvent(kind="span_start", seq=self._next_seq(),
+                              t_s=now - self._t0, pass_name=name))
+        self._stack.append(frame)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            end = time.perf_counter()
+            self._emit(TraceEvent(
+                kind="span_end", seq=self._next_seq(), t_s=end - self._t0,
+                pass_name=name, duration_s=end - frame.start,
+                counters=dict(frame.counters) or None))
+
+    def count(self, counter: str, n: float = 1) -> None:
+        """Bump a per-pass counter (reported on the enclosing span_end)."""
+        if self._stack:
+            frame = self._stack[-1]
+            frame.counters[counter] = frame.counters.get(counter, 0) + n
+
+    # -- decision / warning channel -----------------------------------------
+
+    def decision(self, message: str, *, rule: str = "",
+                 pass_name: Optional[str] = None, stmt=None,
+                 before: str = "", after: str = "",
+                 details: Optional[Dict[str, object]] = None) -> TraceEvent:
+        """Record one compiler decision with provenance.
+
+        ``message`` is the exact human-readable line the legacy decision
+        log shows (see :meth:`render_lines`); the structured fields are
+        additive, so migrating a ``note()`` call never changes CLI output.
+        """
+        return self._record("decision", message, rule=rule,
+                            pass_name=pass_name, stmt=stmt, before=before,
+                            after=after, details=details)
+
+    def warning(self, message: str, *, rule: str = "",
+                pass_name: Optional[str] = None, stmt=None,
+                location: str = "",
+                details: Optional[Dict[str, object]] = None) -> TraceEvent:
+        """Record a warning (verifier findings, launch-limit advisories)."""
+        event = self._record("warning", message, rule=rule,
+                             pass_name=pass_name, stmt=stmt, details=details)
+        if location and not event.location:
+            event.location = location
+        return event
+
+    def _record(self, kind: str, message: str, *, rule: str,
+                pass_name: Optional[str], stmt, before: str = "",
+                after: str = "",
+                details: Optional[Dict[str, object]]) -> TraceEvent:
+        event = TraceEvent(
+            kind=kind, seq=self._next_seq(),
+            t_s=time.perf_counter() - self._t0,
+            pass_name=self.current_pass if pass_name is None else pass_name,
+            message=message, rule=rule, location=snippet(stmt),
+            before=before, after=after, details=dict(details or {}))
+        self._emit(event)
+        return event
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def decisions(self) -> List[TraceEvent]:
+        """Decision and warning events, in emission order."""
+        return [e for e in self.events if e.kind in ("decision", "warning")]
+
+    def render_lines(self) -> List[str]:
+        """The legacy human-readable decision log (one string per event)."""
+        return [e.message for e in self.decisions]
+
+    def pass_times(self) -> Dict[str, float]:
+        """Total wall-clock seconds per span name."""
+        out: Dict[str, float] = {}
+        for e in self.events:
+            if e.kind == "span_end" and e.duration_s is not None:
+                out[e.pass_name] = out.get(e.pass_name, 0.0) + e.duration_s
+        return out
+
+    def counter_totals(self) -> Dict[str, float]:
+        """Per-pass counters flattened to ``pass.counter`` keys."""
+        out: Dict[str, float] = {}
+        for e in self.events:
+            if e.kind == "span_end" and e.counters:
+                for key, value in e.counters.items():
+                    name = f"{e.pass_name}.{key}"
+                    out[name] = out.get(name, 0) + value
+        return out
+
+    # -- serialization ---------------------------------------------------------
+
+    def header(self, **meta) -> Dict[str, object]:
+        """The ``repro.trace/1`` envelope header (no events)."""
+        return make_envelope(TRACE_SCHEMA, record="header",
+                             events=len(self.events),
+                             passes=self.pass_times(),
+                             counters=self.counter_totals(), **meta)
+
+    def to_envelope(self, **meta) -> Dict[str, object]:
+        """The whole trace as one envelope object (CI artifact form)."""
+        return make_envelope(TRACE_SCHEMA, record="trace",
+                             passes=self.pass_times(),
+                             counters=self.counter_totals(),
+                             events=[e.to_dict() for e in self.events],
+                             **meta)
+
+    def write_jsonl(self, out: Union[str, TextIO], **meta) -> None:
+        """Serialize as JSON-Lines: header line, then one line per event."""
+        if isinstance(out, (str, bytes)):
+            with open(out, "w") as fp:
+                self.write_jsonl(fp, **meta)
+            return
+        out.write(json.dumps(self.header(**meta)) + "\n")
+        for event in self.events:
+            out.write(json.dumps(event.to_dict()) + "\n")
+
+
+def read_jsonl(source: Union[str, TextIO]) -> Dict[str, object]:
+    """Parse a ``repro.trace/1`` JSONL stream back into envelope form.
+
+    Returns a dict shaped like :meth:`Tracer.to_envelope` (header fields
+    plus an ``events`` list) after validating the schema tag.
+    """
+    if isinstance(source, (str, bytes)):
+        with open(source) as fp:
+            return read_jsonl(fp)
+    lines = [line for line in source.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty trace stream")
+    header = validate_envelope(json.loads(lines[0]), TRACE_SCHEMA)
+    events = [json.loads(line) for line in lines[1:]]
+    declared = header.get("events")
+    if declared is not None and declared != len(events):
+        raise ValueError(
+            f"trace header declares {declared} event(s), found {len(events)}")
+    out = dict(header)
+    out["record"] = "trace"
+    out["events"] = events
+    return out

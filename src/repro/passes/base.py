@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.lang.astnodes import ArrayRef, AssignStmt, ForStmt, Kernel, Stmt
 from repro.machine import GTX280, GpuSpec
+from repro.obs.trace import Tracer
 
 
 class PassError(Exception):
@@ -33,7 +34,9 @@ class CompilationContext:
 
     ``kernel`` is rewritten in place (each pass replaces ``kernel.body``);
     the rest records the decisions the later passes and the performance
-    model need.  ``log`` is the human-readable decision trace the case-study
+    model need.  ``trace`` is the structured event stream (spans, timed
+    passes, decision records with provenance — :mod:`repro.obs.trace`);
+    ``log`` renders it as the human-readable decision trace the case-study
     example prints (paper Section 5).
     """
 
@@ -63,10 +66,30 @@ class CompilationContext:
     # Estimated per-thread register usage (updated by merge/prefetch).
     est_registers: int = 8
 
-    log: List[str] = field(default_factory=list)
+    trace: Tracer = field(default_factory=Tracer)
 
-    def note(self, message: str) -> None:
-        self.log.append(message)
+    @property
+    def log(self) -> List[str]:
+        """The rendered decision log (a view over ``trace``)."""
+        return self.trace.render_lines()
+
+    def note(self, message: str, *, rule: str = "", stmt=None,
+             before: str = "", after: str = "", **details) -> None:
+        """Record a decision; ``message`` is what the rendered log shows.
+
+        The keyword fields are structured provenance: ``rule`` is a
+        machine-readable id of the heuristic that fired, ``stmt`` anchors
+        the decision to a printed source line, ``before``/``after`` are
+        rewrite snippets, and extra keywords land in the event's details.
+        """
+        self.trace.decision(message, rule=rule, stmt=stmt, before=before,
+                            after=after, details=details or None)
+
+    def warn(self, message: str, *, rule: str = "", stmt=None,
+             location: str = "", **details) -> None:
+        """Record a warning (verifier findings, launch advisories)."""
+        self.trace.warning(message, rule=rule, stmt=stmt, location=location,
+                           details=details or None)
 
     # -- derived quantities --------------------------------------------------
 
@@ -101,7 +124,12 @@ class CompilationContext:
 
 
 class Pass:
-    """A named transformation over a :class:`CompilationContext`."""
+    """A named transformation over a :class:`CompilationContext`.
+
+    Calling the pass (rather than ``run`` directly) wraps execution in a
+    timed trace span, so decisions emitted inside attribute to the pass
+    and the trace records where compile time went.
+    """
 
     name = "pass"
 
@@ -109,7 +137,8 @@ class Pass:
         raise NotImplementedError
 
     def __call__(self, ctx: CompilationContext) -> None:
-        self.run(ctx)
+        with ctx.trace.span(self.name):
+            self.run(ctx)
 
 
 def is_g2s_stmt(stmt: Stmt, shared_names) -> bool:

@@ -160,4 +160,5 @@ class CoalesceCheckPass(Pass):
         accesses = collect_accesses(ctx.kernel, ctx.sizes)
         self.verdicts = check_accesses(accesses)
         for v in self.verdicts:
-            ctx.note(f"coalescing: {v!r}")
+            ctx.note(f"coalescing: {v!r}", rule="coalesce.verdict",
+                     stmt=v.access.ref, coalesced=v.coalesced)

@@ -57,6 +57,7 @@ from repro.lang.astnodes import (
 )
 from repro.lang.types import FLOAT, INT
 from repro.lang.visitor import substitute_in_body, transform_body
+from repro.obs.trace import snippet
 from repro.passes.base import CompilationContext, Pass, PassError, StagedLoad
 from repro.passes.coalesce_check import check_access
 from repro.passes.exprutil import add, affine_to_expr, intlit, mul
@@ -288,12 +289,14 @@ class CoalesceTransformPass(Pass):
                 if note:
                     ctx.note(f"coalescing: leaving {acc!r} as-is "
                              f"({verdict.reason}; no staging strategy "
-                             f"applies)")
+                             f"applies)", rule="coalesce.skip.no-strategy",
+                             stmt=acc.ref)
                 continue
             if acc.is_store and cand.case != "T":
                 if note:
                     ctx.note(f"coalescing: store {acc!r} staging "
-                             f"unsupported; left as-is")
+                             f"unsupported; left as-is",
+                             rule="coalesce.skip.store", stmt=acc.ref)
                 continue
             noncoalesced.append(cand)
         return noncoalesced
@@ -335,7 +338,10 @@ class CoalesceTransformPass(Pass):
                 shared_elems=HALF_WARP * (HALF_WARP + 1),
                 idx_dependent=True, idy_dependent=True))
             ctx.note(f"coalescing: staged {acc!r} through 16x16 shared tile "
-                     f"{name} (transpose shape, block becomes 16x16)")
+                     f"{name} (transpose shape, block becomes 16x16)",
+                     rule="coalesce.stage.transpose", stmt=acc.ref,
+                     before=snippet(acc.ref),
+                     after=f"{name}[tidx][tidy]")
         body = replace_refs(kernel.body, mapping)
         kernel.body = prelude + [SyncStmt("block")] + body
 
@@ -359,7 +365,9 @@ class CoalesceTransformPass(Pass):
             if not ok:
                 for c in group:
                     ctx.note(f"coalescing: apron staging for {c.access!r} "
-                             f"not applicable; left as-is")
+                             f"not applicable; left as-is",
+                             rule="coalesce.skip.apron",
+                             stmt=c.access.ref)
 
         by_array = {}
         for c in b_cands:
@@ -418,7 +426,10 @@ class CoalesceTransformPass(Pass):
             mapping[id(a.ref)] = ArrayRef(
                 Ident(name), [i.clone() for i in a.ref.indices])
             ctx.note(f"coalescing: staged {a!r} through shared table "
-                     f"{name} (whole-array broadcast copy)")
+                     f"{name} (whole-array broadcast copy)",
+                     rule="coalesce.stage.broadcast", stmt=a.ref,
+                     before=snippet(a.ref),
+                     after=snippet(mapping[id(a.ref)]))
 
     def _stage_apron(self, ctx: CompilationContext, array: str,
                      group: List[_Candidate], used: set,
@@ -528,7 +539,9 @@ class CoalesceTransformPass(Pass):
                 repl = ArrayRef(Ident(name), [col_idx])
             mapping[id(acc.ref)] = repl
             ctx.note(f"coalescing: staged {acc!r} through shared apron "
-                     f"{name}[{nrows}x{width}]")
+                     f"{name}[{nrows}x{width}]",
+                     rule="coalesce.stage.apron", stmt=acc.ref,
+                     before=snippet(acc.ref), after=snippet(repl))
         return True
 
     @staticmethod
@@ -586,7 +599,8 @@ class CoalesceTransformPass(Pass):
         if loop_info.bound is None:
             needs_guard = False
             ctx.note(f"coalescing: assuming trip count of loop {iname!r} is "
-                     f"a multiple of 16 (paper pads inputs)")
+                     f"a multiple of 16 (paper pads inputs)",
+                     rule="coalesce.assume.trip-count")
         else:
             needs_guard = not (loop_info.bound.is_constant
                                and loop_info.bound.const % HALF_WARP == 0)
@@ -654,7 +668,11 @@ class CoalesceTransformPass(Pass):
                 idy_dependent=any(f.coeff("idy") or f.coeff("tidy")
                                   for f in acc.index_forms)))
             ctx.note(f"coalescing: staged {acc!r} through shared memory "
-                     f"{sname} (case {cand.case})")
+                     f"{sname} (case {cand.case})",
+                     rule="coalesce.stage.loop", stmt=acc.ref,
+                     before=snippet(acc.ref),
+                     after=snippet(mapping[id(acc.ref)]),
+                     case=cand.case)
 
         # Guard loads that are identical across merged sub-blocks so global
         # data is fetched only once (paper Figure 5).
@@ -663,7 +681,7 @@ class CoalesceTransformPass(Pass):
                 Binary("<", Ident("tidx"), IntLit(HALF_WARP)),
                 g2s_guarded)]
             ctx.note("block merge: guarded redundant G2S loads with "
-                     "if (tidx < 16)")
+                     "if (tidx < 16)", rule="coalesce.guard.block-merge")
         g2s_loads: List[Stmt] = g2s_sliced + g2s_guarded
 
         # Rebuild the loop body: replace staged refs, then substitute
@@ -705,7 +723,9 @@ class CoalesceTransformPass(Pass):
             kernel.body = helper_decls + kernel.body
         ctx.main_loop = loop_stmt
         ctx.note(f"coalescing: strip-mined loop {iname!r} by 16 with inner "
-                 f"iterator {kname!r}")
+                 f"iterator {kname!r}",
+                 rule="coalesce.strip-mine", stmt=loop_stmt.cond,
+                 loop=iname, inner=kname)
 
 
 def _affine_range(form: AffineExpr, access: AccessInfo

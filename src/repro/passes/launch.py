@@ -70,6 +70,8 @@ class LaunchPass(Pass):
                                est_registers_per_thread=ctx.est_registers,
                                warnings=warnings)
         ctx.note(f"launch: {config}, shared={shared}B, "
-                 f"~{ctx.est_registers} regs/thread")
+                 f"~{ctx.est_registers} regs/thread",
+                 rule="launch.config", shared_bytes=shared,
+                 est_registers=ctx.est_registers)
         for w in warnings:
-            ctx.note(f"launch warning: {w}")
+            ctx.warn(f"launch warning: {w}", rule="launch.advice")

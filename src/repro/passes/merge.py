@@ -392,4 +392,7 @@ class ThreadMergePass(Pass):
         ctx.est_registers += (n - 1) * max(1, scalar_replicated)
         ctx.note(f"thread merge: merged {n} work items along "
                  f"{self.direction.upper()} into one thread "
-                 f"(replicated: {sorted(tainted) or 'none'})")
+                 f"(replicated: {sorted(tainted) or 'none'})",
+                 rule="merge.apply", factor=n,
+                 direction=self.direction,
+                 replicated=sorted(tainted))

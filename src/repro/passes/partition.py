@@ -65,12 +65,13 @@ class PartitionCampingPass(Pass):
     def run(self, ctx: CompilationContext) -> None:
         camping = detect_camping(ctx)
         if not camping:
-            ctx.note("partition camping: none detected")
+            ctx.note("partition camping: none detected", rule="partition.none")
             return
         for acc in camping:
             ctx.note(f"partition camping: {acc!r} strides "
                      f"{camping_delta_bytes(acc, ctx.block[0])} bytes "
-                     f"between neighboring blocks")
+                     f"between neighboring blocks",
+                     rule="partition.detected", stmt=acc.ref)
         grid = ctx.grid
         if grid[1] == 1:
             self._apply_offset(ctx, camping)
@@ -83,11 +84,13 @@ class PartitionCampingPass(Pass):
                       camping: List[AccessInfo]) -> None:
         loop = ctx.main_loop
         if loop is None:
-            ctx.note("partition camping: no main loop to rotate; skipped")
+            ctx.note("partition camping: no main loop to rotate; skipped",
+                     rule="partition.skip.no-loop")
             return
         iname = loop.iter_name()
         if iname is None:
-            ctx.note("partition camping: loop iterator not found; skipped")
+            ctx.note("partition camping: loop iterator not found; skipped",
+                     rule="partition.skip.no-iterator")
             return
         # The rotation wraps within the camping array's row; it is only
         # sound when the loop walks the entire row.
@@ -97,7 +100,8 @@ class PartitionCampingPass(Pass):
                 continue
             widths.add(acc.dims[-1])
         if len(widths) != 1:
-            ctx.note("partition camping: ambiguous row width; skipped")
+            ctx.note("partition camping: ambiguous row width; skipped",
+                     rule="partition.skip.ambiguous-width")
             return
         width = widths.pop()
         for acc in camping:
@@ -106,11 +110,12 @@ class PartitionCampingPass(Pass):
                     not loop_info.bound.is_constant or \
                     loop_info.bound.const != width:
                 ctx.note("partition camping: loop does not cover the whole "
-                         "row; offset insertion skipped")
+                         "row; offset insertion skipped",
+                         rule="partition.skip.partial-row")
                 return
         if width % 16:
             ctx.note("partition camping: row width not a multiple of 16; "
-                     "skipped")
+                     "skipped", rule="partition.skip.width-align")
             return
 
         used = _used_names(ctx.kernel)
@@ -126,7 +131,9 @@ class PartitionCampingPass(Pass):
                                                 {iname: Ident(rot)})
         ctx.partition_fix = "offset"
         ctx.note(f"partition camping: inserted per-block address offset "
-                 f"({pw_elems} elements * bidx, wrapped at {width})")
+                 f"({pw_elems} elements * bidx, wrapped at {width})",
+                 rule="partition.offset", stmt=decl,
+                 width=width, offset_elems=pw_elems)
 
     # -- 2-D grids: diagonal block reordering ---------------------------------
 
@@ -134,7 +141,8 @@ class PartitionCampingPass(Pass):
                         grid: Tuple[int, int]) -> None:
         if grid[0] != grid[1]:
             ctx.note("partition camping: non-square grid; diagonal "
-                     "reordering skipped")
+                     "reordering skipped",
+                     rule="partition.skip.non-square")
             return
         used = _used_names(ctx.kernel)
         nbidx = _fresh("bidx_d", used)
@@ -160,4 +168,5 @@ class PartitionCampingPass(Pass):
                                                      mapping)
         ctx.partition_fix = "diagonal"
         ctx.note("partition camping: applied diagonal block reordering "
-                 "(newbidy = bidx, newbidx = (bidx + bidy) % gridDim.x)")
+                 "(newbidy = bidx, newbidx = (bidx + bidy) % gridDim.x)",
+                 rule="partition.diagonal")

@@ -66,17 +66,20 @@ class PrefetchPass(Pass):
     def run(self, ctx: CompilationContext) -> None:
         loop = ctx.main_loop
         if loop is None or loop.cond is None:
-            ctx.note("prefetch: no strip-mined main loop; skipped")
+            ctx.note("prefetch: no strip-mined main loop; skipped",
+                     rule="prefetch.skip.no-loop")
             return
         iname = loop.iter_name()
         start = _loop_start_expr(loop)
         if iname is None or start is None:
-            ctx.note("prefetch: loop shape not recognized; skipped")
+            ctx.note("prefetch: loop shape not recognized; skipped",
+                     rule="prefetch.skip.shape")
             return
         bound = loop.cond.right if isinstance(loop.cond, Binary) \
             and loop.cond.op == "<" else None
         if bound is None:
-            ctx.note("prefetch: loop bound not recognized; skipped")
+            ctx.note("prefetch: loop bound not recognized; skipped",
+                     rule="prefetch.skip.bound")
             return
 
         if not any(stmt is loop for stmt in ctx.kernel.body):
@@ -84,7 +87,7 @@ class PrefetchPass(Pass):
             # restarts every outer iteration; a hoisted initial fetch would
             # be both out of scope and stale.
             ctx.note("prefetch: main loop is nested inside another loop; "
-                     "skipped")
+                     "skipped", rule="prefetch.skip.nested")
             return
 
         shared = _shared_array_names(ctx)
@@ -100,7 +103,8 @@ class PrefetchPass(Pass):
                     if self._is_g2s(inner, shared):
                         sites.append((stmt, inner))
         if not sites:
-            ctx.note("prefetch: no simple G2S loads to double-buffer")
+            ctx.note("prefetch: no simple G2S loads to double-buffer",
+                     rule="prefetch.skip.no-loads")
             return
 
         prelude: List[Stmt] = []
@@ -152,7 +156,8 @@ class PrefetchPass(Pass):
                 new_body.extend(next_fetches)
                 inserted = True
         if not inserted:
-            ctx.note("prefetch: no barrier found in main loop; skipped")
+            ctx.note("prefetch: no barrier found in main loop; skipped",
+                     rule="prefetch.skip.no-barrier")
             return
         loop.body = new_body
 
@@ -163,14 +168,16 @@ class PrefetchPass(Pass):
                 ctx.kernel.body = body[:pos] + prelude + body[pos:]
                 break
         else:
-            ctx.note("prefetch: main loop is nested; initial fetch inlined "
-                     "at kernel top")
+            ctx.note("prefetch: main loop is nested; initial fetch "
+                     "inlined at kernel top",
+                     rule="prefetch.nested-inline")
             ctx.kernel.body = prelude + body
 
         ctx.prefetch_applied = True
         ctx.est_registers += len(sites)
         ctx.note(f"prefetch: double-buffered {len(sites)} G2S load(s) "
-                 f"through register temporaries")
+                 f"through register temporaries",
+                 rule="prefetch.applied", loads=len(sites))
 
     @staticmethod
     def _is_g2s(stmt: Stmt, shared: set) -> bool:

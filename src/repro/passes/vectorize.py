@@ -36,6 +36,7 @@ from repro.lang.astnodes import (
     walk_stmts,
 )
 from repro.lang.types import FLOAT, FLOAT2
+from repro.obs.trace import snippet
 from repro.passes.base import CompilationContext, Pass
 from repro.passes.coalesce_transform import (_fresh, _used_names,
                                              replace_refs)
@@ -84,7 +85,8 @@ class VectorizePass(Pass):
         accesses = collect_accesses(kernel, ctx.sizes)
         pairs = find_pairs(accesses)
         if not pairs:
-            ctx.note("vectorization: no 2*idx/2*idx+1 access pairs")
+            ctx.note("vectorization: no 2*idx/2*idx+1 access pairs",
+                     rule="vectorize.none")
             return
         used = _used_names(kernel)
         arrays_done = set()
@@ -95,7 +97,8 @@ class VectorizePass(Pass):
             param = kernel.param(pair.array)
             if param.type != FLOAT or len(param.dims) != 1:
                 ctx.note(f"vectorization: {pair.array} is not a 1-D float "
-                         f"array; pair skipped")
+                         f"array; pair skipped",
+                         rule="vectorize.skip.type", stmt=pair.even.ref)
                 continue
             fname = _fresh(f"f{len(arrays_done)}", used)
             vec_index = add(Ident("idx"), intlit(pair.offset // 2))
@@ -113,7 +116,10 @@ class VectorizePass(Pass):
                 arrays_done.add(pair.array)
             ctx.note(f"vectorization: grouped {pair.array}[2*idx+"
                      f"{pair.offset}] and +{pair.offset + 1} into float2 "
-                     f"{fname}")
+                     f"{fname}", rule="vectorize.pair",
+                     stmt=pair.even.ref,
+                     before=snippet(pair.even.ref),
+                     after=f"{fname}.x")
         if not mapping:
             return
         kernel.body = new_decls + replace_refs(kernel.body, mapping)

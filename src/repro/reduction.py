@@ -242,11 +242,16 @@ class CompiledReduction:
         return out
 
     def run(self, data: np.ndarray,
-            backend: Optional[str] = None) -> float:
+            backend: Optional[str] = None,
+            profile: Optional[List] = None) -> float:
         """Reduce ``data`` on the functional simulator; returns the result.
 
         ``data`` is the flat float32 input (for the complex styles, the
-        interleaved re/im array of ``2 * n_elements`` floats).
+        interleaved re/im array of ``2 * n_elements`` floats).  When
+        ``profile`` is a list, every launch of the fissioned program
+        appends a ``(label, KernelProfile)`` pair to it (labels from
+        :meth:`launches`), so callers see the dynamic counters of the
+        whole multi-launch reduction.
         """
         plan = self.plan
         launches = self.launches()
@@ -262,16 +267,31 @@ class CompiledReduction:
         else:
             arrays = {"a": data, "partial": partial}
             scalars = {"n2": 2 * self.n_elements, "nb": nb}
-        run_kernel(self.stage1, config1, arrays, scalars,
-                   backend=backend)
+        collector = self._collector(profile, self.stage1, config1)
+        used = run_kernel(self.stage1, config1, arrays, scalars,
+                          backend=backend, profile=collector)
+        if collector is not None:
+            profile.append(("stage1", collector.finalize(used)))
         current = partial
         for _, config, size in launches[1:]:
             nxt = np.zeros(config.grid[0], dtype=np.float32)
-            run_kernel(self.stage2, config,
-                       {"a": current, "partial": nxt},
-                       {"n": size, "nb": config.grid[0]}, backend=backend)
+            collector = self._collector(profile, self.stage2, config)
+            used = run_kernel(self.stage2, config,
+                              {"a": current, "partial": nxt},
+                              {"n": size, "nb": config.grid[0]},
+                              backend=backend, profile=collector)
+            if collector is not None:
+                profile.append(("stage2", collector.finalize(used)))
             current = nxt
         return float(current[0])
+
+    @staticmethod
+    def _collector(profile: Optional[List], kernel: Kernel,
+                   config: LaunchConfig):
+        if profile is None:
+            return None
+        from repro.obs.profile import ProfileCollector
+        return ProfileCollector(kernel, config)
 
 
 def compile_reduction(source: str, n_elements: int,

@@ -76,11 +76,16 @@ def run_kernel(kernel: Kernel, config: LaunchConfig,
                arrays: Dict[str, np.ndarray],
                scalars: Optional[Dict[str, object]] = None, *,
                backend: Optional[str] = None,
-               trace: Optional[TraceHook] = None) -> str:
+               trace: Optional[TraceHook] = None,
+               profile=None) -> str:
     """Execute one kernel launch; ``arrays`` are mutated in place.
 
-    Returns the name of the backend that actually ran (``auto`` resolves
-    to ``vectorized`` or ``lockstep``), so callers can report fallbacks.
+    ``profile`` accepts a :class:`repro.obs.profile.ProfileCollector`;
+    unlike ``trace`` it is supported by *both* backends (the dynamic
+    counters are defined to be backend-independent, and the profiler
+    test suite holds them bit-identical).  Returns the name of the
+    backend that actually ran (``auto`` resolves to ``vectorized`` or
+    ``lockstep``), so callers can report fallbacks.
     """
     name = normalize_backend(backend)
     if trace is not None and name != "vectorized":
@@ -88,7 +93,7 @@ def run_kernel(kernel: Kernel, config: LaunchConfig,
         # lockstep interpreter models.
         name = "lockstep"
     if name == "auto":
-        interp = VectorizedInterpreter(kernel)
+        interp = VectorizedInterpreter(kernel, profile=profile)
         if interp.unsupported_reasons:
             name = "lockstep"
         else:
@@ -98,7 +103,9 @@ def run_kernel(kernel: Kernel, config: LaunchConfig,
         if trace is not None:
             raise UnsupportedKernelError(
                 kernel.name, ["trace hooks require the lockstep backend"])
-        VectorizedInterpreter(kernel).run(config, arrays, scalars)
+        VectorizedInterpreter(kernel, profile=profile).run(config, arrays,
+                                                           scalars)
         return "vectorized"
-    Interpreter(kernel, trace=trace).run(config, arrays, scalars)
+    Interpreter(kernel, trace=trace,
+                profile=profile).run(config, arrays, scalars)
     return "lockstep"

@@ -87,24 +87,32 @@ _MAX_STEPS_DEFAULT = 50_000_000
 class _ThreadCtx:
     """Mutable per-thread state: locals, ids, and its block's memories."""
 
-    __slots__ = ("env", "block", "thread", "shared", "local_arrays")
+    __slots__ = ("env", "block", "thread", "shared", "local_arrays",
+                 "lane", "path")
 
     def __init__(self, env: Dict[str, object], block: Tuple[int, int],
-                 thread: Tuple[int, int], shared: SharedMemory):
+                 thread: Tuple[int, int], shared: SharedMemory,
+                 lane: int = 0):
         self.env = env
         self.block = block
         self.thread = thread
         self.shared = shared
         self.local_arrays: Dict[str, np.ndarray] = {}
+        # Launch-linear lane id and structural loop-iteration path, used by
+        # the profiler to reconstruct the vectorized backend's half-warp
+        # instruction instances (see repro.obs.profile).
+        self.lane = lane
+        self.path: List[int] = []
 
 
 class Interpreter:
     """Executes one kernel over a launch configuration."""
 
     def __init__(self, kernel: Kernel, trace: Optional[TraceHook] = None,
-                 max_steps: int = _MAX_STEPS_DEFAULT):
+                 max_steps: int = _MAX_STEPS_DEFAULT, profile=None):
         self._kernel = kernel
         self._trace = trace
+        self._profile = profile    # repro.obs.profile.ProfileCollector
         self._max_steps = max_steps
         self._steps = 0
 
@@ -147,8 +155,9 @@ class Interpreter:
                             "idx": bidx * bx + tidx,
                             "idy": bidy * by + tidy,
                         })
+                        lane = ((bidy * gx + bidx) * by + tidy) * bx + tidx
                         ctx = _ThreadCtx(env, (bidx, bidy), (tidx, tidy),
-                                         shared)
+                                         shared, lane=lane)
                         contexts.append(ctx)
                         threads.append(
                             self._exec_stmts(self._kernel.body, ctx, gmem))
@@ -206,28 +215,43 @@ class Interpreter:
         elif isinstance(stmt, ExprStmt):
             self._eval(stmt.expr, ctx, gmem)
         elif isinstance(stmt, SyncStmt):
+            if self._profile is not None:
+                self._profile.sync(ctx.lane)
             yield stmt.scope
         elif isinstance(stmt, IfStmt):
-            if self._truthy(self._eval(stmt.cond, ctx, gmem)):
+            taken = self._truthy(self._eval(stmt.cond, ctx, gmem))
+            if self._profile is not None:
+                self._profile.branch(stmt, tuple(ctx.path), ctx.lane, taken)
+            if taken:
                 yield from self._exec_stmts(stmt.then_body, ctx, gmem)
             else:
                 yield from self._exec_stmts(stmt.else_body, ctx, gmem)
         elif isinstance(stmt, ForStmt):
             if stmt.init is not None:
                 yield from self._exec_stmt(stmt.init, ctx, gmem)
+            # The path entry counts structural iterations, aligning this
+            # thread's events with the vectorized backend's masked passes
+            # over the same loop (the condition evaluates at the current
+            # counter, including the final failing evaluation).
+            ctx.path.append(0)
             while stmt.cond is None or \
                     self._truthy(self._eval(stmt.cond, ctx, gmem)):
                 yield from self._exec_stmts(stmt.body, ctx, gmem)
                 if stmt.update is not None:
                     yield from self._exec_stmt(stmt.update, ctx, gmem)
+                ctx.path[-1] += 1
                 self._steps += 1
                 if self._steps > self._max_steps:
                     raise KernelRuntimeError(
                         f"kernel exceeded {self._max_steps} simulated "
                         f"statements (runaway loop?)")
+            ctx.path.pop()
         elif isinstance(stmt, WhileStmt):
+            ctx.path.append(0)
             while self._truthy(self._eval(stmt.cond, ctx, gmem)):
                 yield from self._exec_stmts(stmt.body, ctx, gmem)
+                ctx.path[-1] += 1
+            ctx.path.pop()
         elif isinstance(stmt, Block):
             yield from self._exec_stmts(stmt.body, ctx, gmem)
         elif isinstance(stmt, ReturnStmt):
@@ -326,7 +350,12 @@ class Interpreter:
 
     def _emit_trace(self, store, name: str, indices: Tuple[int, ...],
                     is_store: bool, ctx: _ThreadCtx, site: ArrayRef) -> None:
-        if self._trace is None or getattr(store, "space", None) != "global":
+        space = getattr(store, "space", None)
+        if self._profile is not None and space in ("global", "shared"):
+            self._profile.access(space, name,
+                                 store.linear_address(name, indices),
+                                 is_store, site, tuple(ctx.path), ctx.lane)
+        if self._trace is None or space != "global":
             return
         addr = store.linear_address(name, indices)
         self._trace(name, addr, is_store, ctx.block, ctx.thread, site)

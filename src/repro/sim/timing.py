@@ -108,6 +108,24 @@ def _resolve_trips(loop, env: Mapping[str, float]) -> float:
     return max(0.0, (bound - start) / loop.step)
 
 
+def access_executions(access: AccessInfo, config: LaunchConfig) -> float:
+    """Estimated dynamic executions per thread of one access site.
+
+    The product of enclosing loop trip counts (triangular bounds sampled
+    at the midpoint) and guard execution fractions — the multiplier the
+    static model applies to every per-execution cost, and the first
+    suspect when the profile drift gate (:mod:`repro.obs.report`) fires.
+    """
+    return (_trip_midpoint_env(access, {})
+            * _access_exec_fraction(access, config))
+
+
+def shared_conflict_degree(access: AccessInfo, machine: GpuSpec,
+                           config: LaunchConfig) -> int:
+    """Predicted bank-serialization degree of one shared access (>= 1)."""
+    return _bank_conflict_degree(access, machine, config)
+
+
 def guard_fraction(cond: Expr, config: LaunchConfig) -> float:
     """Estimated execution fraction of a guarded statement."""
     bx, by = config.block
@@ -316,8 +334,7 @@ def analyze_kernel(kernel: Kernel, sizes: Mapping[str, int],
     accesses = collect_accesses(kernel, sizes)
 
     for acc in accesses:
-        execs = _trip_midpoint_env(acc, {}) * _access_exec_fraction(acc,
-                                                                    config)
+        execs = access_executions(acc, config)
         if execs <= 0:
             continue
         if acc.space == "global":
@@ -328,7 +345,7 @@ def analyze_kernel(kernel: Kernel, sizes: Mapping[str, int],
                 transactions_per_halfwarp=trans,
                 bytes_per_halfwarp=byts, partition_imbalance=imb))
         elif acc.space == "shared":
-            degree = _bank_conflict_degree(acc, machine, config)
+            degree = shared_conflict_degree(acc, machine, config)
             stats.shared_cycles_per_thread += execs * degree
 
     stats.alu_ops_per_thread = _count_alu(kernel, sizes, config)

@@ -243,12 +243,13 @@ class VectorizedInterpreter:
     """
 
     def __init__(self, kernel: Kernel, trace=None,
-                 max_steps: int = _MAX_STEPS_DEFAULT):
+                 max_steps: int = _MAX_STEPS_DEFAULT, profile=None):
         if trace is not None:
             raise UnsupportedKernelError(
                 kernel.name, ["per-access trace hooks need per-thread "
                               "execution order; use the lockstep backend"])
         self._kernel = kernel
+        self._profile = profile    # repro.obs.profile.ProfileCollector
         self._max_steps = max_steps
         self._steps = 0
         self._slicing = slice_phases(kernel)
@@ -334,6 +335,8 @@ class VectorizedInterpreter:
             self._exec_sync(stmt, mask)
         elif isinstance(stmt, IfStmt):
             cond = self._truthy(self._eval(stmt.cond, mask))
+            if self._profile is not None:
+                self._profile.branch_lanes(stmt, mask, cond)
             then_mask = mask & cond
             else_mask = mask & ~cond
             if then_mask.any():
@@ -370,6 +373,8 @@ class VectorizedInterpreter:
 
     def _exec_sync(self, stmt: SyncStmt, mask: np.ndarray) -> None:
         """Check barrier convergence; data is already visible (no-op)."""
+        if self._profile is not None:
+            self._profile.sync_lanes(mask)
         if mask.all():
             return
         if stmt.scope == "global":
@@ -512,6 +517,7 @@ class VectorizedInterpreter:
             return
         if isinstance(target, ArrayRef):
             view, indices = self._resolve(target, mask)
+            self._emit_profile(view, target, indices, mask, True)
             self._scatter(view, indices, value, mask, target.name)
             return
         if isinstance(target, Member):
@@ -526,6 +532,7 @@ class VectorizedInterpreter:
                 return
             if isinstance(base, ArrayRef):
                 view, indices = self._resolve(base, mask)
+                self._emit_profile(view, base, indices, mask, True)
                 if view.lanes <= lane:
                     raise KernelRuntimeError(
                         f"member store .{target.member} to {view.lanes}-lane "
@@ -563,6 +570,23 @@ class VectorizedInterpreter:
             # Clamp the inactive lanes so the full-width gather is safe.
             indices.append(np.where(mask, ix, 0) if not mask.all() else ix)
         return view, tuple(indices)
+
+    def _emit_profile(self, view: _SpaceView, ref: ArrayRef,
+                      indices: Tuple[np.ndarray, ...],
+                      mask: np.ndarray, is_store: bool) -> None:
+        """Feed one masked access to the profiler (global/shared only).
+
+        Addresses are row-major linear *element* indices over the array's
+        logical dims, matching the lockstep memory stores'
+        ``linear_address`` so cross-backend counters agree exactly.
+        """
+        if self._profile is None or view.space not in ("global", "shared"):
+            return
+        addr = np.zeros(self._n, np.int64)
+        for ix, ext in zip(indices, view.dims()):
+            addr = addr * ext + ix
+        self._profile.access_lanes(view.space, ref.base.name, addr, mask,
+                                   is_store, ref)
 
     def _gather(self, view: _SpaceView, indices: Tuple[np.ndarray, ...],
                 mask: np.ndarray) -> LaneValue:
@@ -638,6 +662,7 @@ class VectorizedInterpreter:
                     f"use of undefined variable {expr.name!r}") from None
         if isinstance(expr, ArrayRef):
             view, indices = self._resolve(expr, mask)
+            self._emit_profile(view, expr, indices, mask, False)
             return self._gather(view, indices, mask)
         if isinstance(expr, Member):
             base = self._eval(expr.base, mask)
