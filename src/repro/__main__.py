@@ -14,6 +14,9 @@ Usage::
     python -m repro profile [KERNEL ...] [--stage STAGE] [--scale N] \
         [--backend both] [--tolerance F] [--json]
 
+    python -m repro resilience [KERNEL ...] [--chaos] [--inject K:S] \
+        [--no-validate] [--budget S] [--json]
+
 The first form prints the optimized kernel, the launch configuration, the
 compiler's decision log, and the analytic performance estimate; with
 ``--verify`` the static analyses (races / divergence / bounds / banks) run
@@ -28,16 +31,22 @@ on drift against the static model (see :mod:`repro.obs.report`).
 
 All subcommands share one convention: exit code 0 = clean, 1 = findings
 (lint errors / fuzz divergences / profile drift / compile failure), 2 =
-usage error, and ``--json`` emits a single versioned envelope object
-(``repro.lint/1`` / ``repro.fuzz/1`` / ``repro.profile/1``) documented in
-the README.
+usage error, 70 = internal error (an unexpected exception crossed the
+CLI boundary; one structured line goes to stderr), 130 = interrupted,
+and ``--json`` emits a single versioned envelope object (``repro.lint/1``
+/ ``repro.fuzz/1`` / ``repro.profile/1`` / ``repro.resilience/1``)
+documented in the README.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+
+#: BSD sysexits EX_SOFTWARE: an unexpected exception reached the CLI.
+EX_SOFTWARE = 70
 
 from repro.compiler import CompileOptions, compile_kernel
 from repro.explore import explore
@@ -88,6 +97,31 @@ def _parse_domain(text):
 
 
 def main(argv=None) -> int:
+    """CLI entry point: dispatch, with a last-resort internal-error net.
+
+    ``PassError`` / ``SemanticError`` keep their exit-1 contract and
+    usage problems their exit-2 one (both handled inside ``_run``); any
+    *unexpected* exception is caught here, printed as one structured
+    line on stderr, and mapped to exit 70 (BSD ``EX_SOFTWARE``) so
+    scripts can tell a compiler bug from a compile failure.
+    """
+    try:
+        return _run(argv)
+    except (SystemExit, KeyboardInterrupt):
+        raise
+    except BrokenPipeError:
+        # `repro ... | head` closing stdout early is not a compiler bug:
+        # exit like a SIGPIPE'd process (128 + 13), quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+    except Exception as exc:
+        print(f"repro: internal error [{type(exc).__name__}]: {exc}",
+              file=sys.stderr)
+        return EX_SOFTWARE
+
+
+def _run(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
@@ -98,6 +132,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "profile":
         from repro.obs.report import profile_main
         return profile_main(argv[1:])
+    if argv and argv[0] == "resilience":
+        from repro.resilience.cli import resilience_main
+        return resilience_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -116,6 +153,24 @@ def main(argv=None) -> int:
     parser.add_argument("--verify", action="store_true",
                         help="run the static verifier on the result "
                              "(errors abort compilation)")
+    parser.add_argument("--resilient", action="store_true",
+                        help="checkpoint every optimization pass and roll "
+                             "failing passes back instead of aborting "
+                             "(degradation ladder, DESIGN.md 5.5)")
+    parser.add_argument("--validate", action="store_true",
+                        help="after each pass, statically verify and "
+                             "differentially simulate against the naive "
+                             "kernel; mismatches roll the pass back "
+                             "(implies --resilient)")
+    parser.add_argument("--inject", action="append", default=[],
+                        metavar="KIND:SITE",
+                        help="arm a deterministic fault at a pipeline "
+                             "site (repeatable; also via REPRO_FAULTS)")
+    parser.add_argument("--budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-pass wall-clock compile budget; an "
+                             "overrunning pass is rolled back (resilient "
+                             "mode)")
     parser.add_argument("--explore", action="store_true",
                         help="empirically search merge factors (Section 4)")
     parser.add_argument("--measure", default="model",
@@ -144,9 +199,27 @@ def main(argv=None) -> int:
     domain = _parse_domain(args.domain)
     mach = machine(args.machine)
     options = _STAGE_OPTIONS[args.stage]
+    overrides = {}
     if args.verify:
+        overrides["verify"] = True
+    if args.resilient or args.validate:
+        overrides["resilient"] = True
+    if args.validate:
+        overrides["validate"] = True
+    if args.budget is not None:
+        overrides["pass_budget_s"] = args.budget
+    from repro.resilience.faults import FaultPlan, FaultSpecError
+    try:
+        faults = FaultPlan.parse(
+            list(args.inject) + FaultPlan.from_env().specs())
+    except FaultSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if faults:
+        overrides["faults"] = faults
+    if overrides:
         from dataclasses import replace
-        options = replace(options, verify=True)
+        options = replace(options, **overrides)
 
     try:
         if args.explore:
@@ -192,14 +265,31 @@ def main(argv=None) -> int:
                             f"{v.profile.barriers} barriers")
             print(f"//   bm={v.block_merge:2} tm={v.thread_merge:2}: "
                   f"{v.measured_s * 1e3:.3f} ms{counters}")
+    if compiled.resilience is not None:
+        print(f"// resilience: {compiled.resilience.summary_line()}")
     print("//")
     if args.explain:
+        if len(compiled.attempts) > 1 or any(a.floor or a.error
+                                             for a in compiled.attempts):
+            print("// degradation history:")
+            for i, attempt in enumerate(compiled.attempts):
+                rung = ("floor (all optimizations off)" if attempt.floor
+                        else f"{attempt.target_threads} target threads")
+                if attempt.ok:
+                    print(f"//   attempt {i + 1}: {rung}: succeeded")
+                else:
+                    print(f"//   attempt {i + 1}: {rung}: failed "
+                          f"({attempt.error})")
+                    for event in attempt.trace.decisions:
+                        if event.kind == "rollback":
+                            print(f"//     rollback: {event.message}")
         print("// decision log (structured):")
         for event in compiled.trace.decisions:
             tag = event.pass_name or "driver"
             if event.rule:
                 tag += f" {event.rule}"
-            head = "warning" if event.kind == "warning" else "decision"
+            head = {"warning": "warning",
+                    "rollback": "rollback"}.get(event.kind, "decision")
             print(f"//   [{tag}] {head}: {event.message}")
             if event.location:
                 print(f"//       at: {event.location}")

@@ -69,10 +69,39 @@ class CompileOptions:
     # error findings raise PassError, warnings join the decision trace.
     verify: bool = False
 
+    # -- resilience (repro.resilience, DESIGN.md 5.5) -----------------------
+    # ``resilient`` checkpoints every optimization site and rolls a failing
+    # pass back instead of aborting; ``validate`` additionally re-verifies
+    # and differentially simulates the kernel after each pass (implies
+    # resilient); ``pass_budget_s`` is the per-pass wall-clock budget
+    # (overrun = rollback); ``faults`` is an armed FaultPlan for chaos
+    # testing (duck-typed to keep this module import-light).
+    resilient: bool = False
+    validate: bool = False
+    pass_budget_s: Optional[float] = None
+    faults: Optional[object] = None
+
 
 def uses_global_sync(kernel: Kernel) -> bool:
     return any(isinstance(s, SyncStmt) and s.scope == "global"
                for s in walk_stmts(kernel.body))
+
+
+@dataclass
+class CompileAttempt:
+    """One rung of the degradation ladder: a full pipeline attempt.
+
+    Every ``_compile_once`` invocation — including the failed ones the
+    block-size retry loop discards — leaves one of these on the final
+    :class:`CompiledKernel`, so ``--explain`` can show the complete
+    degradation history with each attempt's trace and PassError.
+    """
+
+    target_threads: int
+    trace: object                        # the attempt's Tracer
+    floor: bool = False                  # the all-optimizations-off rung
+    error: Optional[str] = None          # PassError text if the rung failed
+    ok: bool = False
 
 
 @dataclass
@@ -86,6 +115,9 @@ class CompiledKernel:
     ctx: CompilationContext
     merge_plan: Optional[MergePlan]
     source: str
+    # Degradation history (resilient compiles; empty/None otherwise).
+    attempts: List[CompileAttempt] = field(default_factory=list)
+    resilience: Optional[object] = None  # repro.resilience ResilienceReport
 
     @property
     def log(self) -> List[str]:
@@ -167,16 +199,30 @@ def compile_kernel(source: Union[str, Kernel],
 
     # Retry with smaller blocks when a staging layout exceeds shared memory
     # or the thread cap (the compiler tries 512/256/128... threads,
-    # Section 4.1).
+    # Section 4.1).  In resilient mode this loop is the *outer* rung of
+    # the degradation ladder (DESIGN.md 5.5): per-pass rollback handles
+    # everything else, and an all-optimizations-off floor sits below it.
+    resilient = options.resilient or options.validate
+    attempts: List[CompileAttempt] = []
     target = options.target_threads
     last_error: Optional[PassError] = None
     while target >= HALF_WARP:
         try:
             return _compile_once(naive, sizes, domain, machine,
-                                 replace(options, target_threads=target))
+                                 replace(options, target_threads=target),
+                                 attempts=attempts)
         except PassError as exc:
+            if attempts and attempts[-1].error is None:
+                attempts[-1].error = str(exc)
             last_error = exc
             target //= 2
+    if resilient:
+        floor = replace(options, target_threads=HALF_WARP,
+                        enable_vectorize=False, enable_coalesce=False,
+                        enable_merge=False, enable_prefetch=False,
+                        enable_partition=False)
+        return _compile_once(naive, sizes, domain, machine, floor,
+                             attempts=attempts, floor=True)
     raise last_error
 
 
@@ -197,65 +243,137 @@ def _naive_block(domain: Tuple[int, int],
 
 def _compile_once(naive: Kernel, sizes: Dict[str, int],
                   domain: Tuple[int, int], machine: GpuSpec,
-                  options: CompileOptions) -> CompiledKernel:
-    # -- stage 1: vectorization on the naive kernel -------------------------
-    work = naive.clone()
-    ctx = CompilationContext(kernel=work, sizes=dict(sizes), domain=domain,
-                             machine=machine)
-    if options.enable_vectorize:
-        VectorizePass()(ctx)
+                  options: CompileOptions,
+                  attempts: Optional[List[CompileAttempt]] = None,
+                  floor: bool = False) -> CompiledKernel:
+    ctx = CompilationContext(kernel=naive.clone(), sizes=dict(sizes),
+                             domain=domain, machine=machine)
+    ctx.faults = options.faults
 
-    # -- stage 2: plan merges on a scratch staging --------------------------
-    merge_plan: Optional[MergePlan] = None
-    block = (HALF_WARP, 1)
-    if options.enable_coalesce:
-        with ctx.trace.span("plan"):
-            merge_plan = plan_merges(work, ctx.sizes, domain, machine)
-            for r in merge_plan.reasons:
-                ctx.note(f"plan: {r}", rule="plan.sharing")
-        if options.enable_merge:
-            block = _choose_block(merge_plan, options, domain, machine)
-
-    # -- stage 3: generate staging for the final block shape ----------------
-    if options.enable_coalesce:
-        CoalesceTransformPass(block=block)(ctx)
+    # Resilient compiles run every optimization site under a checkpointing
+    # guard (repro.resilience); the default pipeline gets a pass-through
+    # guard so its behavior is exactly the historical one.
+    resilient = options.resilient or options.validate
+    res_report = None
+    if resilient:
+        from repro.resilience.pipeline import PassGuard
+        from repro.resilience.report import ResilienceReport
+        res_report = ResilienceReport(target_threads=options.target_threads,
+                                      validated=options.validate,
+                                      floor=floor)
+        validator = None
+        if options.validate:
+            from repro.resilience.validate import PipelineValidator
+            validator = PipelineValidator(naive, sizes, domain, machine)
+        guard = PassGuard(ctx, report=res_report, faults=options.faults,
+                          validator=validator,
+                          budget_s=options.pass_budget_s,
+                          final_rung=floor
+                          or options.target_threads <= HALF_WARP)
     else:
+        from repro.resilience.pipeline import NullGuard
+        guard = NullGuard()
+
+    if attempts is not None:
+        for prior in attempts:
+            if prior.error:
+                ctx.note(f"resilience: attempt at {prior.target_threads} "
+                         f"target threads failed ({prior.error}); retrying "
+                         f"at {options.target_threads}",
+                         rule="resilience.retry",
+                         target_threads=prior.target_threads)
+        if floor:
+            ctx.trace.rollback(
+                "resilience: all block-size rungs failed; compiling at the "
+                "no-optimization floor", site="pipeline", cause="pass-error")
+        attempts.append(CompileAttempt(
+            target_threads=options.target_threads, trace=ctx.trace,
+            floor=floor))
+
+    # -- stage 1: vectorization on the naive kernel -------------------------
+    if options.enable_vectorize:
+        guard.run_site("vectorize", lambda: VectorizePass()(ctx),
+                       retryable=True)
+    else:
+        guard.skip_site("vectorize", "disabled")
+
+    # -- stages 2+3: plan merges on a scratch staging, then generate the
+    # staging for the final block shape (one rollback unit: the plan is
+    # useless without its transform and vice versa) ------------------------
+    merge_plan: Optional[MergePlan] = None
+    coalesced = False
+    if options.enable_coalesce:
+        def _coalesce() -> None:
+            nonlocal merge_plan
+            block = (HALF_WARP, 1)
+            with ctx.trace.span("plan"):
+                plan = plan_merges(ctx.kernel, ctx.sizes, domain, machine)
+                for r in plan.reasons:
+                    ctx.note(f"plan: {r}", rule="plan.sharing")
+            if options.enable_merge:
+                block = _choose_block(plan, options, domain, machine)
+            CoalesceTransformPass(block=block)(ctx)
+            merge_plan = plan
+        coalesced = guard.run_site("coalesce", _coalesce, retryable=True)
+    else:
+        guard.skip_site("coalesce", "disabled")
+    if not coalesced:
+        merge_plan = None
         ctx.block = _naive_block(domain, machine)
 
     # -- stage 4: thread merge ----------------------------------------------
     if options.enable_merge and merge_plan is not None:
-        tm_y = _thread_merge_factor(
-            options.thread_merge_y, merge_plan.thread_merge_y,
-            domain[1], ctx.block[1], default=16)
-        tm_x = _thread_merge_factor(
-            options.thread_merge_x, merge_plan.thread_merge_x,
-            domain[0], ctx.block[0], default=4)
-        if tm_y > 1:
-            ThreadMergePass("y", tm_y)(ctx)
-        if tm_x > 1:
-            ThreadMergePass("x", tm_x)(ctx)
+        plan = merge_plan
+
+        def _merge() -> None:
+            tm_y = _thread_merge_factor(
+                options.thread_merge_y, plan.thread_merge_y,
+                domain[1], ctx.block[1], default=16)
+            tm_x = _thread_merge_factor(
+                options.thread_merge_x, plan.thread_merge_x,
+                domain[0], ctx.block[0], default=4)
+            if tm_y > 1:
+                ThreadMergePass("y", tm_y)(ctx)
+            if tm_x > 1:
+                ThreadMergePass("x", tm_x)(ctx)
+        guard.run_site("merge", _merge, retryable=True)
+    elif options.enable_merge and options.enable_coalesce:
+        guard.skip_site("merge", "dependency", "coalesce was rolled back")
+    else:
+        guard.skip_site("merge", "disabled")
 
     # -- stage 5: partition camping -----------------------------------------
     if options.enable_partition:
-        PartitionCampingPass()(ctx)
+        guard.run_site("partition", lambda: PartitionCampingPass()(ctx),
+                       retryable=True)
+    else:
+        guard.skip_site("partition", "disabled")
 
     # -- stage 6: prefetch (register budget permitting) ----------------------
     if options.enable_prefetch:
-        if ctx.partition_fix == "offset":
+        if options.enable_coalesce and not coalesced:
+            guard.skip_site("prefetch", "dependency",
+                            "coalesce was rolled back")
+        elif ctx.partition_fix == "offset":
             ctx.note("prefetch: skipped (address-offset rotation makes the "
                      "next-iteration source non-affine)",
                      rule="prefetch.skip.partition-offset")
+            guard.skip_site("prefetch", "policy", "partition offset fix")
         elif not _registers_allow_prefetch(ctx):
             ctx.note("prefetch: skipped, registers already consumed by "
                      "thread merge (Section 6.2)",
                      rule="prefetch.skip.registers",
                      est_registers=ctx.est_registers)
+            guard.skip_site("prefetch", "policy", "register budget")
         else:
-            PrefetchPass()(ctx)
+            guard.run_site("prefetch", lambda: PrefetchPass()(ctx),
+                           retryable=True)
+    else:
+        guard.skip_site("prefetch", "disabled")
 
     # -- stage 7: index-expression cleanup ------------------------------------
     from repro.passes.simplify import SimplifyPass
-    SimplifyPass()(ctx)
+    guard.run_site("simplify", lambda: SimplifyPass()(ctx), retryable=True)
 
     # -- stage 8: launch parameters ------------------------------------------
     launch = LaunchPass()
@@ -264,7 +382,8 @@ def _compile_once(naive: Kernel, sizes: Dict[str, int],
     compiled = CompiledKernel(
         name=ctx.kernel.name, kernel=ctx.kernel, config=launch.plan.config,
         plan=launch.plan, ctx=ctx, merge_plan=merge_plan,
-        source=print_kernel(ctx.kernel))
+        source=print_kernel(ctx.kernel),
+        attempts=list(attempts or ()), resilience=res_report)
 
     # -- stage 9: optional static verification --------------------------------
     if options.verify:
@@ -283,6 +402,12 @@ def _compile_once(naive: Kernel, sizes: Dict[str, int],
             raise PassError(
                 "static verification failed:\n"
                 + report.render(min_severity=report.errors[0].severity))
+    if attempts:
+        attempts[-1].ok = True
+    if res_report is not None:
+        ctx.note(f"resilience: {res_report.summary_line()}",
+                 rule="resilience.summary",
+                 dropped=len(res_report.dropped), floor=res_report.floor)
     return compiled
 
 

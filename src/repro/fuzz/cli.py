@@ -98,48 +98,59 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     cases_json = []
     counts = {"ok": 0, "rejected": 0, "divergent": 0}
     divergent_names = []
+    interrupted = False
+    completed = 0
     for index in range(args.count):
-        case = generate_case(args.seed, index, shape=args.shape)
-        result = run_case(case, opts)
-        counts[result.status] += 1
-        entry = result.to_dict()
-        entry["lines"] = source_lines(case)
-        if result.status == "divergent":
-            divergent_names.append(case.name)
-            if not args.as_json and not args.quiet:
-                print(f"DIVERGENCE {case.name} ({case.origin})")
-                for d in result.divergences:
-                    print(f"  {d.render()}")
-            reduced = case
-            if not args.no_reduce:
-                reduced, spent = reduce_case(
-                    case, opts, max_attempts=args.max_reduce_attempts,
-                    base_result=result)
-                entry["reduced"] = {
-                    "source": reduced.source,
-                    "sizes": dict(reduced.sizes),
-                    "domain": list(reduced.domain),
-                    "lines": source_lines(reduced),
-                    "oracle_runs": spent,
-                }
+        # A long campaign interrupted with Ctrl-C still flushes a valid
+        # partial envelope (marked "interrupted") instead of dying with a
+        # traceback and no artifact.
+        try:
+            case = generate_case(args.seed, index, shape=args.shape)
+            result = run_case(case, opts)
+            counts[result.status] += 1
+            entry = result.to_dict()
+            entry["lines"] = source_lines(case)
+            if result.status == "divergent":
+                divergent_names.append(case.name)
                 if not args.as_json and not args.quiet:
-                    print(f"  reduced to {source_lines(reduced)} line(s) "
-                          f"in {spent} oracle run(s):")
-                    for line in reduced.source.rstrip().splitlines():
-                        print(f"    {line}")
-            if not args.no_write:
-                reduced.note = ("fuzzer-found divergence: "
-                                + "; ".join(d.render()
-                                            for d in result.divergences))
-                path = save_case(reduced, args.corpus_dir)
-                entry["corpus_path"] = path
-                if not args.as_json and not args.quiet:
-                    print(f"  wrote reproducer to {path}")
-        cases_json.append(entry)
+                    print(f"DIVERGENCE {case.name} ({case.origin})")
+                    for d in result.divergences:
+                        print(f"  {d.render()}")
+                reduced = case
+                if not args.no_reduce:
+                    reduced, spent = reduce_case(
+                        case, opts, max_attempts=args.max_reduce_attempts,
+                        base_result=result)
+                    entry["reduced"] = {
+                        "source": reduced.source,
+                        "sizes": dict(reduced.sizes),
+                        "domain": list(reduced.domain),
+                        "lines": source_lines(reduced),
+                        "oracle_runs": spent,
+                    }
+                    if not args.as_json and not args.quiet:
+                        print(f"  reduced to {source_lines(reduced)} "
+                              f"line(s) in {spent} oracle run(s):")
+                        for line in reduced.source.rstrip().splitlines():
+                            print(f"    {line}")
+                if not args.no_write:
+                    reduced.note = ("fuzzer-found divergence: "
+                                    + "; ".join(d.render()
+                                                for d in result.divergences))
+                    path = save_case(reduced, args.corpus_dir)
+                    entry["corpus_path"] = path
+                    if not args.as_json and not args.quiet:
+                        print(f"  wrote reproducer to {path}")
+            cases_json.append(entry)
+            completed = index + 1
+        except KeyboardInterrupt:
+            interrupted = True
+            break
 
-    exit_code = 1 if counts["divergent"] else 0
+    exit_code = 1 if counts["divergent"] else (130 if interrupted else 0)
     summary = {
         "cases": args.count,
+        "completed": completed,
         "seed": args.seed,
         "stages": list(args.stages),
         "backend": args.backend or "default",
@@ -152,11 +163,14 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
             FUZZ_SCHEMA,
             command="fuzz",
             exit_code=exit_code,
+            interrupted=interrupted,
             summary=summary,
             cases=cases_json,
         ), indent=2))
     else:
-        print(f"fuzz: {args.count} case(s) from seed {args.seed}: "
+        note = (f" (interrupted after {completed})" if interrupted else "")
+        print(f"fuzz: {completed}/{args.count} case(s) from seed "
+              f"{args.seed}{note}: "
               f"{counts['ok']} ok, {counts['rejected']} rejected, "
               f"{counts['divergent']} divergent")
         if divergent_names and args.quiet:

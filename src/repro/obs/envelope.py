@@ -25,6 +25,7 @@ KNOWN_SCHEMAS = (
     "repro.bench-backend/1",
     "repro.trace/1",
     "repro.profile/1",
+    "repro.resilience/1",
 )
 
 _SCHEMA_RE = re.compile(r"^repro\.[a-z][a-z0-9-]*/[0-9]+$")

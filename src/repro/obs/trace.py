@@ -30,7 +30,7 @@ from repro.obs.envelope import make_envelope, validate_envelope
 TRACE_SCHEMA = "repro.trace/1"
 
 #: Event kinds, in the order a reader will meet them.
-EVENT_KINDS = ("span_start", "span_end", "decision", "warning")
+EVENT_KINDS = ("span_start", "span_end", "decision", "warning", "rollback")
 
 
 def snippet(node, max_chars: int = 72) -> str:
@@ -168,6 +168,21 @@ class Tracer:
             event.location = location
         return event
 
+    def rollback(self, message: str, *, site: str, cause: str,
+                 rule: str = "resilience.rollback",
+                 details: Optional[Dict[str, object]] = None) -> TraceEvent:
+        """Record a resilience rollback: a pass was undone and dropped.
+
+        ``site`` names the pipeline site that rolled back (``vectorize``,
+        ``coalesce``, ...) and ``cause`` classifies why (``pass-error``,
+        ``error``, ``fault``, ``budget``, ``validate``).  Rollback events
+        join the rendered decision log like decisions and warnings do.
+        """
+        merged: Dict[str, object] = {"site": site, "cause": cause}
+        merged.update(details or {})
+        return self._record("rollback", message, rule=rule, pass_name=None,
+                            stmt=None, details=merged)
+
     def _record(self, kind: str, message: str, *, rule: str,
                 pass_name: Optional[str], stmt, before: str = "",
                 after: str = "",
@@ -193,8 +208,9 @@ class Tracer:
 
     @property
     def decisions(self) -> List[TraceEvent]:
-        """Decision and warning events, in emission order."""
-        return [e for e in self.events if e.kind in ("decision", "warning")]
+        """Decision, warning, and rollback events, in emission order."""
+        return [e for e in self.events
+                if e.kind in ("decision", "warning", "rollback")]
 
     def render_lines(self) -> List[str]:
         """The legacy human-readable decision log (one string per event)."""

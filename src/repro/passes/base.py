@@ -68,6 +68,11 @@ class CompilationContext:
 
     trace: Tracer = field(default_factory=Tracer)
 
+    # An armed repro.resilience.faults.FaultPlan (duck-typed here so the
+    # pass layer needs no resilience import): each pass consults it on
+    # entry and raises an injected fault if one is armed at its site.
+    faults: Optional[object] = None
+
     @property
     def log(self) -> List[str]:
         """The rendered decision log (a view over ``trace``)."""
@@ -133,11 +138,17 @@ class Pass:
 
     name = "pass"
 
+    #: The resilience site this pass belongs to ('' = not a guarded
+    #: site).  Fault injection (repro.resilience.faults) keys on this.
+    site = ""
+
     def run(self, ctx: CompilationContext) -> None:  # pragma: no cover
         raise NotImplementedError
 
     def __call__(self, ctx: CompilationContext) -> None:
         with ctx.trace.span(self.name):
+            if self.site and ctx.faults is not None:
+                ctx.faults.check_raise(self.site)
             self.run(ctx)
 
 

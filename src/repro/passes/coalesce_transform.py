@@ -238,6 +238,7 @@ class CoalesceTransformPass(Pass):
     """
 
     name = "coalesce-transform"
+    site = "coalesce"
 
     def __init__(self, block: Tuple[int, int] = (HALF_WARP, 1)):
         bx, by = block

@@ -331,6 +331,7 @@ class ThreadMergePass(Pass):
     """Merge N work items along a direction into one thread."""
 
     name = "thread-merge"
+    site = "merge"
 
     def __init__(self, direction: str, factor: int):
         if direction not in ("x", "y"):

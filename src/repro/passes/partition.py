@@ -61,6 +61,7 @@ class PartitionCampingPass(Pass):
     """Detect and eliminate partition camping."""
 
     name = "partition-camping"
+    site = "partition"
 
     def run(self, ctx: CompilationContext) -> None:
         camping = detect_camping(ctx)

@@ -62,6 +62,7 @@ class PrefetchPass(Pass):
     """Double-buffer simple G2S loads through register temporaries."""
 
     name = "prefetch"
+    site = "prefetch"
 
     def run(self, ctx: CompilationContext) -> None:
         loop = ctx.main_loop

@@ -60,6 +60,7 @@ class SimplifyPass(Pass):
     """Fold every array index and integer initializer."""
 
     name = "simplify"
+    site = "simplify"
 
     def run(self, ctx: CompilationContext) -> None:
         def rewrite(expr: Expr) -> Expr:

@@ -79,6 +79,7 @@ class VectorizePass(Pass):
     """Group paired scalar accesses into float2 accesses."""
 
     name = "vectorize"
+    site = "vectorize"
 
     def run(self, ctx: CompilationContext) -> None:
         kernel = ctx.kernel

@@ -212,6 +212,10 @@ class CompiledReduction:
     n_elements: int                 # logical elements (pairs count as one)
     machine: GpuSpec
     log: List[str] = field(default_factory=list)
+    # Degradation history of a resilient compile: one dict per attempt
+    # ({'block_threads', 'thread_merge', 'error'|'ok'}).  None when the
+    # compile was not resilient.
+    resilience: Optional[List[Dict[str, object]]] = None
 
     @property
     def stage1_source(self) -> str:
@@ -297,11 +301,23 @@ class CompiledReduction:
 def compile_reduction(source: str, n_elements: int,
                       machine: GpuSpec = GTX280,
                       plan: Optional[ReductionPlan] = None,
-                      vectorize: bool = True) -> CompiledReduction:
+                      vectorize: bool = True,
+                      *,
+                      resilient: bool = False,
+                      validate: bool = False,
+                      faults: Optional[object] = None) -> CompiledReduction:
     """Compile a global-sync reduction kernel into a fissioned program.
 
     ``vectorize=False`` with a complex-pair naive kernel produces the
     ``staged`` style (Figure 14's ``optimized_wo_vec``).
+
+    ``resilient`` turns failures at the ``reduction`` fission site —
+    injected faults, unexpected exceptions, validation mismatches — into
+    a degradation ladder that halves ``thread_merge`` (then the block
+    size) and retries; ``validate`` differentially checks the fissioned
+    program against an exact integer sum (mismatch raises
+    :class:`PassError` when not resilient); ``faults`` is an armed
+    :class:`repro.resilience.faults.FaultPlan`.
     """
     naive = parse_kernel(source)
     array = recognize_reduction(naive)
@@ -327,12 +343,70 @@ def compile_reduction(source: str, n_elements: int,
     else:
         plan.load_style = "direct"
 
+    attempts: Optional[List[Dict[str, object]]] = [] if resilient else None
+    while True:
+        try:
+            compiled = _build_reduction(naive.name, plan, n_elements,
+                                        machine, list(log), faults=faults,
+                                        validate=validate)
+            if attempts is not None:
+                attempts.append({"block_threads": plan.block_threads,
+                                 "thread_merge": plan.thread_merge,
+                                 "ok": True})
+                compiled.resilience = attempts
+            return compiled
+        except Exception as exc:
+            if not resilient:
+                raise
+            attempts.append({"block_threads": plan.block_threads,
+                             "thread_merge": plan.thread_merge,
+                             "error": f"{type(exc).__name__}: {exc}"})
+            log.append(f"resilience: reduction attempt "
+                       f"(block={plan.block_threads}, thread merge "
+                       f"{plan.thread_merge}) rolled back: {exc}")
+            # Degradation ladder: halve the per-thread merge first (the
+            # cheap knob), then the block size; give up below one warp.
+            if plan.thread_merge > 1:
+                plan = ReductionPlan(block_threads=plan.block_threads,
+                                     thread_merge=plan.thread_merge // 2,
+                                     load_style=plan.load_style)
+            elif plan.block_threads > 32:
+                plan = ReductionPlan(block_threads=plan.block_threads // 2,
+                                     thread_merge=1,
+                                     load_style=plan.load_style)
+            else:
+                raise PassError(
+                    f"reduction degradation ladder exhausted: {exc}"
+                ) from exc
+
+
+def _build_reduction(name: str, plan: ReductionPlan, n_elements: int,
+                     machine: GpuSpec, log: List[str],
+                     faults: Optional[object] = None,
+                     validate: bool = False) -> CompiledReduction:
+    """One rung of the reduction ladder: build, optionally corrupt
+    (fault injection), then optionally validate the fissioned program."""
+    if faults is not None:
+        faults.check_raise("reduction")
     log.append(f"reduction: kernel fission into block tree "
                f"(block={plan.block_threads}, thread merge "
                f"{plan.thread_merge}) + relaunch over partials")
     exact = n_elements % (plan.block_threads * plan.thread_merge) == 0
     stage1 = parse_kernel(block_reduce_source(plan, exact=exact))
     stage2 = parse_kernel(partial_reduce_source(plan.block_threads))
-    return CompiledReduction(name=naive.name, plan=plan, stage1=stage1,
-                             stage2=stage2, n_elements=n_elements,
-                             machine=machine, log=log)
+    compiled = CompiledReduction(name=name, plan=plan, stage1=stage1,
+                                 stage2=stage2, n_elements=n_elements,
+                                 machine=machine, log=log)
+    if faults is not None and faults.trip("corrupt", "reduction"):
+        from repro.resilience.faults import corrupt_kernel
+        desc = corrupt_kernel(compiled.stage1)
+        log.append(f"fault: corrupted reduction stage-1 kernel "
+                   f"({desc or 'no array access found'})")
+    if faults is not None and faults.trip("budget", "reduction"):
+        raise PassError("injected budget exhaustion at 'reduction'")
+    if validate:
+        from repro.resilience.validate import validate_reduction
+        failure = validate_reduction(compiled)
+        if failure is not None:
+            raise PassError(f"reduction validation failed: {failure}")
+    return compiled

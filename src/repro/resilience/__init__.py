@@ -1,0 +1,55 @@
+"""Resilience subsystem: checkpointed rollback, validated compiles,
+fault injection, and compile budgets for the optimization pipeline.
+
+See DESIGN.md §5.5 for the degradation ladder this package implements
+and how it extends the paper's Section 4.1 block-size retry.
+"""
+
+from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.faults import (
+    ENV_VAR,
+    FAULT_KINDS,
+    FAULT_SITES,
+    Fault,
+    FaultPlan,
+    FaultSpecError,
+    InjectedFault,
+    corrupt_kernel,
+    parse_fault,
+)
+from repro.resilience.pipeline import NullGuard, PassGuard
+from repro.resilience.report import (
+    RESILIENCE_SCHEMA,
+    PassOutcome,
+    ResilienceReport,
+    resilience_envelope,
+)
+from repro.resilience.validate import (
+    DYNAMIC_WORK_LIMIT,
+    PipelineValidator,
+    synth_arrays,
+    validate_reduction,
+)
+
+__all__ = [
+    "Checkpoint",
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "Fault",
+    "FaultPlan",
+    "FaultSpecError",
+    "InjectedFault",
+    "corrupt_kernel",
+    "parse_fault",
+    "NullGuard",
+    "PassGuard",
+    "RESILIENCE_SCHEMA",
+    "PassOutcome",
+    "ResilienceReport",
+    "resilience_envelope",
+    "DYNAMIC_WORK_LIMIT",
+    "PipelineValidator",
+    "synth_arrays",
+    "validate_reduction",
+]

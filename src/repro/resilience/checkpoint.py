@@ -1,0 +1,96 @@
+"""Pipeline checkpoints: snapshot and restore compilation state.
+
+Each optimization pass rewrites ``ctx.kernel`` in place and updates the
+bookkeeping fields of :class:`~repro.passes.base.CompilationContext`
+(block shape, merge factors, staged loads, the strip-mined main loop,
+register estimates).  A :class:`Checkpoint` captures all of it before a
+pass runs so the resilient pipeline can undo *just that pass* when it
+fails, instead of aborting the whole compilation.
+
+The subtlety is node identity: ``ctx.main_loop`` and the
+``StagedLoad.load_stmts`` lists point at statement nodes *inside* the
+kernel tree.  Snapshots therefore record those references as indices into
+the deterministic ``walk_stmts`` pre-order of the kernel body; restoring
+resolves the indices against a fresh clone so the restored references
+point into the restored tree (not the abandoned one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import List, Optional
+
+from repro.lang.astnodes import Stmt, walk_stmts
+from repro.lang.printer import print_kernel
+
+
+def _stmt_index(order: List[Stmt], stmt: Optional[Stmt]) -> Optional[int]:
+    """The walk-order index of ``stmt`` (by identity), or ``None``."""
+    if stmt is None:
+        return None
+    for i, s in enumerate(order):
+        if s is stmt:
+            return i
+    return None
+
+
+class Checkpoint:
+    """A restorable snapshot of one :class:`CompilationContext`."""
+
+    def __init__(self, ctx):
+        order = list(walk_stmts(ctx.kernel.body))
+        self._kernel = ctx.kernel.clone()
+        self._source = print_kernel(ctx.kernel)
+        self._sizes = dict(ctx.sizes)
+        self._block = tuple(ctx.block)
+        self._block_merge = tuple(ctx.block_merge)
+        self._thread_merge = tuple(ctx.thread_merge)
+        self._main_loop_idx = _stmt_index(order, ctx.main_loop)
+        self._staged = [
+            (sl, [_stmt_index(order, s) for s in sl.load_stmts])
+            for sl in ctx.staged_loads
+        ]
+        self._prefetch_applied = ctx.prefetch_applied
+        self._partition_fix = ctx.partition_fix
+        self._vectorized = ctx.vectorized
+        self._halved_extents = set(ctx.halved_extents)
+        self._est_registers = ctx.est_registers
+
+    def changed(self, ctx) -> bool:
+        """Did the pipeline state change since this snapshot was taken?
+
+        Used to skip validation after no-op passes: an unchanged kernel
+        cannot have been miscompiled by the pass that just ran.
+        """
+        return (print_kernel(ctx.kernel) != self._source
+                or tuple(ctx.block) != self._block
+                or tuple(ctx.block_merge) != self._block_merge
+                or tuple(ctx.thread_merge) != self._thread_merge
+                or ctx.vectorized != self._vectorized
+                or ctx.partition_fix != self._partition_fix
+                or ctx.prefetch_applied != self._prefetch_applied
+                or ctx.halved_extents != self._halved_extents)
+
+    def restore(self, ctx) -> None:
+        """Roll ``ctx`` back to the snapshot (reusable: clones on restore)."""
+        kernel = self._kernel.clone()
+        order = list(walk_stmts(kernel.body))
+        ctx.kernel = kernel
+        ctx.sizes = dict(self._sizes)
+        ctx.block = self._block
+        ctx.block_merge = self._block_merge
+        ctx.thread_merge = self._thread_merge
+        ctx.main_loop = (order[self._main_loop_idx]
+                         if self._main_loop_idx is not None else None)
+        ctx.staged_loads = [
+            dc_replace(sl, load_stmts=[
+                order[i] if i is not None else s
+                for i, s in zip(idxs, sl.load_stmts)
+            ])
+            for sl, idxs in self._staged
+        ]
+        ctx.prefetch_applied = self._prefetch_applied
+        ctx.partition_fix = self._partition_fix
+        ctx.vectorized = self._vectorized
+        ctx.halved_extents = set(self._halved_extents)
+        ctx.est_registers = self._est_registers

@@ -1,0 +1,180 @@
+"""Deterministic fault injection for the resilient pass pipeline.
+
+The chaos suite needs to prove that every recovery path in the
+checkpointed pipeline actually recovers, which requires *making* each
+pipeline site fail on demand.  A :class:`FaultPlan` arms faults at named
+pass sites; the pipeline consults the plan at well-defined points:
+
+``raise``
+    An :class:`InjectedFault` (a plain ``RuntimeError`` subclass, i.e. an
+    *unexpected* exception class on purpose) is raised inside the pass's
+    trace span, exactly where a pass bug would surface.
+``corrupt``
+    The pass runs normally, then its rewrite is silently corrupted (the
+    first global array access gets an off-by-one index) — a miscompile the
+    type system cannot see.  Only validated compile mode catches these.
+``budget``
+    The pass is charged an infinite compile budget, forcing the
+    timeout-as-rollback path without an actual timeout.
+
+Faults are **one-shot**: each armed fault fires at most once, so a
+degradation ladder that retries a site (the reduction path does) recovers
+on the retry instead of failing forever.  Plans come from ``--inject``
+specs on the CLI or the ``REPRO_FAULTS`` environment variable; both use
+comma/space-separated ``kind:site`` pairs, e.g.
+``REPRO_FAULTS="raise:merge,corrupt:coalesce"``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.lang.astnodes import (
+    ArrayRef,
+    Binary,
+    IntLit,
+    Kernel,
+    walk_exprs,
+    walk_exprs_of_stmt,
+    walk_stmts,
+)
+
+#: Recognized fault kinds (see module docstring).
+FAULT_KINDS: Tuple[str, ...] = ("raise", "corrupt", "budget")
+
+#: Named pipeline sites a fault can be armed at.  The first six are the
+#: guarded sites of :func:`repro.compiler._compile_once`; ``reduction``
+#: is the kernel-fission site of :mod:`repro.reduction`.
+FAULT_SITES: Tuple[str, ...] = ("vectorize", "coalesce", "merge",
+                                "partition", "prefetch", "simplify",
+                                "reduction")
+
+#: Environment variable holding an ambient fault spec.
+ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultSpecError(ValueError):
+    """A fault spec string does not parse to known kind:site pairs."""
+
+
+class InjectedFault(RuntimeError):
+    """The deliberately *unexpected* exception a ``raise`` fault throws."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One armed fault: a kind to inject at a named site."""
+
+    kind: str
+    site: str
+
+    def spec(self) -> str:
+        return f"{self.kind}:{self.site}"
+
+
+def parse_fault(token: str) -> Fault:
+    """Parse one ``kind:site`` token into a :class:`Fault`."""
+    kind, sep, site = token.strip().partition(":")
+    if not sep or not site:
+        raise FaultSpecError(
+            f"bad fault spec {token!r}; expected kind:site "
+            f"(kinds: {', '.join(FAULT_KINDS)})")
+    if kind not in FAULT_KINDS:
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r}; expected one of "
+            f"{', '.join(FAULT_KINDS)}")
+    if site not in FAULT_SITES:
+        raise FaultSpecError(
+            f"unknown fault site {site!r}; expected one of "
+            f"{', '.join(FAULT_SITES)}")
+    return Fault(kind=kind, site=site)
+
+
+class FaultPlan:
+    """A set of armed one-shot faults the pipeline consults as it runs."""
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self._armed: List[Fault] = []
+        self._fired: List[Fault] = []
+        for fault in faults:
+            if not isinstance(fault, Fault):
+                raise FaultSpecError(f"not a Fault: {fault!r}")
+            parse_fault(fault.spec())   # re-validate kind and site
+            self._armed.append(fault)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: Union[str, Iterable[str], None]) -> "FaultPlan":
+        """Parse a spec string (or list of spec strings) into a plan."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, str):
+            spec = [spec]
+        faults = []
+        for chunk in spec:
+            for token in chunk.replace(",", " ").split():
+                faults.append(parse_fault(token))
+        return cls(faults)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan":
+        """The ambient plan from ``REPRO_FAULTS`` (empty when unset)."""
+        env = os.environ if environ is None else environ
+        return cls.parse(env.get(ENV_VAR) or None)
+
+    # -- consumption -------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self._armed)
+
+    def trip(self, kind: str, site: str) -> bool:
+        """Consume (fire) an armed ``kind`` fault at ``site``, if any."""
+        for i, fault in enumerate(self._armed):
+            if fault.kind == kind and fault.site == site:
+                self._fired.append(self._armed.pop(i))
+                return True
+        return False
+
+    def check_raise(self, site: str) -> None:
+        """Raise :class:`InjectedFault` if a ``raise`` fault is armed."""
+        if self.trip("raise", site):
+            raise InjectedFault(
+                f"injected fault at pipeline site {site!r}")
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def pending(self) -> Tuple[Fault, ...]:
+        """Faults still armed (their site was never reached)."""
+        return tuple(self._armed)
+
+    @property
+    def fired(self) -> Tuple[Fault, ...]:
+        return tuple(self._fired)
+
+    def specs(self) -> List[str]:
+        """Every fault in the plan (armed or fired), as spec strings."""
+        return [f.spec() for f in self._fired + self._armed]
+
+
+def corrupt_kernel(kernel: Kernel) -> Optional[str]:
+    """Deterministically corrupt one rewrite in ``kernel``, in place.
+
+    The first array access found in statement order gets an off-by-one
+    last index — the signature shape of the miscompiles PR 2's fuzzer
+    caught (a staged load reading its neighbor's element).  Returns a
+    description of the corruption, or ``None`` if the kernel has no
+    array access to corrupt.
+    """
+    for stmt in walk_stmts(kernel.body):
+        for top in walk_exprs_of_stmt(stmt):
+            for node in walk_exprs(top):
+                if isinstance(node, ArrayRef) and node.indices:
+                    old = node.indices[-1]
+                    node.indices[-1] = Binary("+", old, IntLit(1))
+                    return (f"offset last index of "
+                            f"{getattr(node.base, 'name', '?')}[...] by +1")
+    return None

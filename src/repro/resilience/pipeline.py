@@ -1,0 +1,130 @@
+"""The pass guard: checkpointed execution of one pipeline site.
+
+:class:`PassGuard` is the heart of the resilience subsystem.  The driver
+wraps every optimization site in :meth:`PassGuard.run_site`, which
+
+1. snapshots the full compilation state (:class:`Checkpoint`),
+2. runs the site,
+3. classifies any failure — resource :class:`PassError`, injected
+   fault, unexpected exception, compile-budget overrun, or (in validated
+   mode) a differential-validation mismatch — and
+4. either keeps the pass or rolls the context back to the snapshot,
+   records a ``resilience.rollback`` trace event, and lets compilation
+   continue with the remaining passes.
+
+Resource ``PassError``\\ s at a *retryable* site keep their historical
+meaning: below the final block-size rung they propagate so the outer
+halve-the-block loop (paper Section 4.1) can retry the whole pipeline
+with a smaller block; only at the final rung do they degrade to a
+per-pass rollback.  Everything else rolls back immediately at any rung.
+
+:class:`NullGuard` is the pass-through used by non-resilient compiles:
+``run_site`` just calls the site, so the default pipeline's behavior is
+byte-for-byte what it was before this module existed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.passes.base import PassError
+from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.faults import FaultPlan, InjectedFault, corrupt_kernel
+from repro.resilience.report import PassOutcome, ResilienceReport
+
+
+class NullGuard:
+    """Pass-through guard: no checkpoints, no report, failures propagate."""
+
+    resilient = False
+
+    def run_site(self, site: str, fn: Callable[[], None], *,
+                 retryable: bool = False) -> bool:
+        fn()
+        return True
+
+    def skip_site(self, site: str, cause: str, detail: str = "") -> None:
+        pass
+
+
+class PassGuard:
+    """Checkpointed, budgeted, optionally validated site execution."""
+
+    resilient = True
+
+    def __init__(self, ctx, *, report: ResilienceReport,
+                 faults: Optional[FaultPlan] = None,
+                 validator=None,
+                 budget_s: Optional[float] = None,
+                 final_rung: bool = False):
+        self.ctx = ctx
+        self.report = report
+        self.faults = faults
+        self.validator = validator       # PipelineValidator or None
+        self.budget_s = budget_s
+        self.final_rung = final_rung
+
+    def run_site(self, site: str, fn: Callable[[], None], *,
+                 retryable: bool = False) -> bool:
+        """Run one site under a checkpoint; True if its work was kept."""
+        checkpoint = Checkpoint(self.ctx)
+        t0 = time.perf_counter()
+        try:
+            fn()
+        except PassError as exc:
+            if retryable and not self.final_rung:
+                raise    # the outer block-size ladder owns this failure
+            return self._rollback(checkpoint, site, "pass-error",
+                                  str(exc), t0)
+        except InjectedFault as exc:
+            return self._rollback(checkpoint, site, "fault", str(exc), t0)
+        except Exception as exc:
+            return self._rollback(checkpoint, site, "error",
+                                  f"{type(exc).__name__}: {exc}", t0)
+        elapsed = time.perf_counter() - t0
+
+        # A 'corrupt' fault lands after the pass ran: the rewrite is
+        # silently miscompiled, exactly like the bugs the fuzzer caught.
+        if self.faults is not None and self.faults.trip("corrupt", site):
+            desc = corrupt_kernel(self.ctx.kernel)
+            self.ctx.note(
+                f"fault: corrupted {site} rewrite "
+                f"({desc or 'no array access found'})",
+                rule="resilience.fault.corrupt", site=site)
+
+        if self.faults is not None and self.faults.trip("budget", site):
+            return self._rollback(
+                checkpoint, site, "budget",
+                f"injected budget exhaustion at {site!r}", t0)
+        if self.budget_s is not None and elapsed > self.budget_s:
+            return self._rollback(
+                checkpoint, site, "budget",
+                f"pass ran {elapsed:.3f}s, budget is {self.budget_s:g}s", t0)
+
+        if self.validator is not None and checkpoint.changed(self.ctx):
+            failure = self.validator.check(self.ctx)
+            if failure is not None:
+                return self._rollback(checkpoint, site, "validate",
+                                      failure, t0)
+
+        self.report.record(PassOutcome(site=site, status="kept",
+                                       duration_s=elapsed))
+        return True
+
+    def skip_site(self, site: str, cause: str, detail: str = "") -> None:
+        """Record a site that never ran (disabled, dependency, policy)."""
+        self.report.record(PassOutcome(site=site, status="skipped",
+                                       cause=cause, detail=detail))
+
+    def _rollback(self, checkpoint: Checkpoint, site: str, cause: str,
+                  detail: str, t0: float) -> bool:
+        elapsed = time.perf_counter() - t0
+        checkpoint.restore(self.ctx)
+        self.ctx.trace.rollback(
+            f"resilience: rolled back {site} ({cause}: {detail})",
+            site=site, cause=cause, details={"detail": detail})
+        self.report.record(PassOutcome(site=site, status="dropped",
+                                       cause=cause, detail=detail,
+                                       duration_s=elapsed))
+        return False
