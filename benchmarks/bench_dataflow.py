@@ -1,0 +1,188 @@
+"""Cleanup-pass record: proof-carrying guard/barrier elimination.
+
+For each suite kernel (mm, tp, and the globally-synchronized rd
+reduction) this bench compiles twice — proof-carrying cleanup disabled
+and enabled — and records what the proofs bought: guards and barriers
+deleted, the dynamic branch/barrier counter deltas under the profiler,
+and a bit-exactness check of the outputs on both simulator backends.
+
+mm and tp are honest zeros at the committed scales: their pipelines
+emit no provably-redundant guard or barrier, and the record pins that
+(a future pass regression that starts emitting removable code will show
+up here as a nonzero).  rd is the payoff case — at a power-of-two size
+the per-block chunk divides the input exactly, the dataflow engine
+proves the stage-1 bounds guard always-true, and cleanup deletes it,
+which the branch-counter delta makes visible.
+
+Runnable as a script from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_dataflow.py [--out BENCH_dataflow.json]
+
+and importable (``run_bench``) so the regression test can smoke it on
+tiny launches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.compiler import CompileOptions, compile_kernel
+from repro.kernels.suite import get_algorithm
+from repro.machine import GTX280
+from repro.obs.envelope import make_envelope
+from repro.reduction import compile_reduction
+
+BENCH_SCHEMA = "repro.bench-dataflow/1"
+
+#: Committed-record launch scales (matching BENCH_backend.json; rd's
+#: power-of-two count makes the stage-1 guard provably redundant).
+DEFAULT_SCALES = {"mm": 64, "tp": 256, "rd": 1 << 15}
+
+_SEED = 0xDF10
+
+
+def _removed_counters(trace) -> Dict[str, int]:
+    """Sum the cleanup pass's deletion counters out of a compile trace."""
+    removed = {"guards_removed": 0, "barriers_removed": 0}
+    for event in trace.events:
+        if event.kind == "span_end" and event.counters:
+            for key in removed:
+                removed[key] += int(event.counters.get(key, 0))
+    return removed
+
+
+def _bench_compiled(name: str, scale: int) -> Dict[str, object]:
+    algo = get_algorithm(name)
+    sizes = algo.sizes(scale)
+    rng = np.random.default_rng(_SEED)
+    arrays = algo.make_arrays(rng, sizes)
+
+    compiled = {}
+    for label, enabled in (("off", False), ("on", True)):
+        compiled[label] = compile_kernel(
+            algo.source, sizes, algo.domain(sizes), GTX280,
+            CompileOptions(enable_cleanup=enabled))
+
+    removed = _removed_counters(compiled["on"].trace)
+    profiles = {label: ck.profile(arrays, backend="vectorized")
+                for label, ck in compiled.items()}
+
+    bit_identical = {}
+    for backend in ("lockstep", "vectorized"):
+        outs = {}
+        for label, ck in compiled.items():
+            work = {k: v.copy() for k, v in arrays.items()}
+            ck.run(work, backend=backend)
+            outs[label] = work
+        bit_identical[backend] = all(
+            (outs["off"][k] == outs["on"][k]).all() for k in outs["off"])
+
+    return {
+        "kernel": name,
+        "scale": scale,
+        "sizes": sizes,
+        "guards_removed": removed["guards_removed"],
+        "barriers_removed": removed["barriers_removed"],
+        "counters": {
+            "branch_evals_off": profiles["off"].branch_evals,
+            "branch_evals_on": profiles["on"].branch_evals,
+            "branch_evals_delta": (profiles["off"].branch_evals
+                                   - profiles["on"].branch_evals),
+            "barriers_off": profiles["off"].barriers,
+            "barriers_on": profiles["on"].barriers,
+            "barriers_delta": (profiles["off"].barriers
+                               - profiles["on"].barriers),
+        },
+        "bit_identical": bit_identical,
+    }
+
+
+def _bench_reduction(scale: int) -> Dict[str, object]:
+    algo = get_algorithm("rd")
+    rng = np.random.default_rng(_SEED)
+    data = algo.make_arrays(rng, algo.sizes(scale))["a"]
+
+    compiled = {"off": compile_reduction(algo.source, scale, GTX280,
+                                         cleanup=False),
+                "on": compile_reduction(algo.source, scale, GTX280,
+                                        cleanup=True)}
+    proofs = [line for line in compiled["on"].log
+              if line.startswith("cleanup:")]
+
+    profiles: Dict[str, Dict[str, int]] = {}
+    results: Dict[str, float] = {}
+    for label, cr in compiled.items():
+        collected: List = []
+        results[label] = cr.run(data.copy(), backend="vectorized",
+                                profile=collected)
+        profiles[label] = {
+            "branch_evals": sum(p.branch_evals for _, p in collected),
+            "barriers": sum(p.barriers for _, p in collected),
+        }
+
+    bit_identical = {}
+    for backend in ("lockstep", "vectorized"):
+        off = compiled["off"].run(data.copy(), backend=backend)
+        on = compiled["on"].run(data.copy(), backend=backend)
+        bit_identical[backend] = (np.float32(off) == np.float32(on))
+
+    guard_gone = "pos < n" not in compiled["on"].stage1_source
+    return {
+        "kernel": "rd",
+        "scale": scale,
+        "sizes": algo.sizes(scale),
+        "guards_removed": len([p for p in proofs if "guard" in p]),
+        "barriers_removed": len([p for p in proofs if "barrier" in p]),
+        "stage1_guard_eliminated": guard_gone,
+        "counters": {
+            "branch_evals_off": profiles["off"]["branch_evals"],
+            "branch_evals_on": profiles["on"]["branch_evals"],
+            "branch_evals_delta": (profiles["off"]["branch_evals"]
+                                   - profiles["on"]["branch_evals"]),
+            "barriers_off": profiles["off"]["barriers"],
+            "barriers_on": profiles["on"]["barriers"],
+            "barriers_delta": (profiles["off"]["barriers"]
+                               - profiles["on"]["barriers"]),
+        },
+        "bit_identical": {k: bool(v) for k, v in bit_identical.items()},
+    }
+
+
+def run_bench(scales: Optional[Dict[str, int]] = None) -> Dict[str, object]:
+    scales = scales or DEFAULT_SCALES
+    results = []
+    for name, scale in scales.items():
+        if name == "rd":
+            results.append(_bench_reduction(scale))
+        else:
+            results.append(_bench_compiled(name, scale))
+    return make_envelope(
+        BENCH_SCHEMA,
+        machine="GTX280",
+        results=results,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_dataflow.json")
+    args = parser.parse_args(argv)
+    envelope = run_bench()
+    path = pathlib.Path(args.out)
+    path.write_text(json.dumps(envelope, indent=1) + "\n")
+    for row in envelope["results"]:
+        print(f"{row['kernel']}: guards_removed={row['guards_removed']} "
+              f"barriers_removed={row['barriers_removed']} "
+              f"branch_delta={row['counters']['branch_evals_delta']} "
+              f"bit_identical={row['bit_identical']}")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

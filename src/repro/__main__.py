@@ -310,7 +310,8 @@ def _run(argv=None) -> int:
 
 def lint_main(argv=None) -> int:
     """``python -m repro lint``: verify suite kernels at pipeline stages."""
-    from repro.analysis import Severity, verify_compiled, verify_kernel
+    from repro.analysis import (Severity, VerifyOptions, verify_compiled,
+                                verify_kernel)
     from repro.compiler import compile_stages
     from repro.kernels.suite import ALGORITHMS
     from repro.reduction import compile_reduction
@@ -331,6 +332,10 @@ def lint_main(argv=None) -> int:
                         choices=sorted(MACHINES))
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit diagnostics as JSON")
+    parser.add_argument("--facts", action="store_true",
+                        help="also dump the dataflow engine's per-kernel "
+                             "facts (interval/stride values, access "
+                             "summaries, guard verdicts) as JSON")
     parser.add_argument("--quiet", action="store_true",
                         help="print only the summary line")
     args = parser.parse_args(argv)
@@ -344,8 +349,10 @@ def lint_main(argv=None) -> int:
         return 2
     mach = machine(args.machine)
     wanted = None if args.stage == "all" else _LINT_STAGES[args.stage]
+    lint_opts = VerifyOptions(dataflow=True)
 
     diagnostics = []
+    facts_entries = []
     checked = 0
     failed_compiles = 0
     for name in names:
@@ -354,11 +361,16 @@ def lint_main(argv=None) -> int:
         sizes = alg.sizes(scale)
         try:
             if alg.uses_global_sync:
-                reports = _lint_reduction(alg, sizes, mach, verify_kernel)
+                reports = _lint_reduction(alg, sizes, mach, verify_kernel,
+                                          lint_opts)
             else:
                 stages = compile_stages(alg.source, sizes,
                                         alg.domain(sizes), mach)
-                reports = [(stage, verify_compiled(ck, stage=stage))
+                reports = [(stage,
+                            verify_compiled(ck, stage=stage,
+                                            options=lint_opts),
+                            (ck.kernel, ck.size_bindings(),
+                             tuple(ck.config.block), tuple(ck.config.grid)))
                            for stage, ck in stages.items()
                            if wanted is None or stage == wanted]
         except (PassError, SemanticError) as exc:
@@ -366,15 +378,28 @@ def lint_main(argv=None) -> int:
                   file=sys.stderr)
             failed_compiles += 1
             continue
-        for stage, report in reports:
+        for stage, report, launch in reports:
             checked += 1
             diagnostics.extend(report)
+            if args.facts:
+                from repro.analysis.dataflow import analyze_kernel
+                kernel, bindings, block, grid = launch
+                facts_entries.append({
+                    "kernel": name, "stage": stage,
+                    "facts": analyze_kernel(kernel, bindings,
+                                            block, grid).to_dict(),
+                })
 
     errors = [d for d in diagnostics if d.severity is Severity.ERROR]
     warnings = [d for d in diagnostics if d.severity is Severity.WARNING]
+    rules: dict = {}
+    for d in diagnostics:
+        key = d.rule or d.analysis
+        rules[key] = rules.get(key, 0) + 1
     exit_code = 1 if errors or failed_compiles else 0
     if args.as_json:
         from repro.obs.envelope import make_envelope
+        extra = {"facts": facts_entries} if args.facts else {}
         print(json.dumps(make_envelope(
             "repro.lint/1",
             command="lint",
@@ -384,19 +409,23 @@ def lint_main(argv=None) -> int:
                 "errors": len(errors),
                 "warnings": len(warnings),
                 "failed_compiles": failed_compiles,
+                "rules": rules,
             },
             diagnostics=[d.to_dict() for d in diagnostics],
+            **extra,
         ), indent=2))
         return exit_code
     if not args.quiet:
         for d in diagnostics:
             print(d.render())
+    if args.facts:
+        print(json.dumps(facts_entries, indent=2))
     print(f"lint: {checked} kernel stage(s) checked, "
           f"{len(errors)} error(s), {len(warnings)} warning(s)")
     return exit_code
 
 
-def _lint_reduction(alg, sizes, mach, verify_kernel):
+def _lint_reduction(alg, sizes, mach, verify_kernel, options=None):
     """Verify both fission stages of a __global_sync reduction kernel."""
     from repro.reduction import compile_reduction
     compiled = compile_reduction(alg.source, sizes["n"], machine=mach)
@@ -414,19 +443,25 @@ def _lint_reduction(alg, sizes, mach, verify_kernel):
 
     for label, config, size in compiled.launches():
         kernel = compiled.stage1 if label == "stage1" else compiled.stage2
+        bound = bindings(kernel, size, config.grid[0])
         report = verify_kernel(
-            kernel, bindings(kernel, size, config.grid[0]),
+            kernel, bound,
             block=tuple(config.block), grid=tuple(config.grid),
-            machine=mach, stage=label)
-        reports.append((label, report))
+            machine=mach, stage=label, options=options)
+        reports.append((label, report,
+                        (kernel, bound, tuple(config.block),
+                         tuple(config.grid))))
     # launches() only relaunches stage2 for large inputs; always verify it
     # once under a representative configuration.
-    if all(label != "stage2" for label, _ in reports):
+    if all(label != "stage2" for label, _, _ in reports):
         block = compiled.plan.block_threads
+        bound = bindings(compiled.stage2, block, 1)
         report = verify_kernel(
-            compiled.stage2, bindings(compiled.stage2, block, 1),
-            block=(block, 1), grid=(1, 1), machine=mach, stage="stage2")
-        reports.append(("stage2", report))
+            compiled.stage2, bound,
+            block=(block, 1), grid=(1, 1), machine=mach, stage="stage2",
+            options=options)
+        reports.append(("stage2", report,
+                        (compiled.stage2, bound, (block, 1), (1, 1))))
     return reports
 
 

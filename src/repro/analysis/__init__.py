@@ -11,12 +11,17 @@ pipeline stage statically:
   thread-dependent control flow;
 * :mod:`repro.analysis.bounds`     — affine index ranges vs. declared
   array extents;
-* :mod:`repro.analysis.banks`      — shared-memory bank-conflict lint.
+* :mod:`repro.analysis.banks`      — shared-memory bank-conflict lint;
+* :mod:`repro.analysis.dataflow`   — abstract-interpretation dataflow
+  framework (interval + stride lattices, affine access summaries,
+  barrier-interval def-use, and proof objects for the cleanup pass).
 
 :mod:`repro.analysis.verifier` orchestrates them over a shared
 diagnostics framework (:mod:`repro.analysis.diagnostics`).
 """
 
+from repro.analysis.dataflow import KernelFacts, analyze_kernel
+from repro.analysis.dataflow.check import check_dataflow
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
 from repro.sim.phases import PhaseSlicing, slice_phases
 from repro.analysis.verifier import VerifyOptions, verify_compiled, verify_kernel
@@ -24,9 +29,12 @@ from repro.analysis.verifier import VerifyOptions, verify_compiled, verify_kerne
 __all__ = [
     "Diagnostic",
     "DiagnosticReport",
+    "KernelFacts",
     "PhaseSlicing",
     "Severity",
     "VerifyOptions",
+    "analyze_kernel",
+    "check_dataflow",
     "slice_phases",
     "verify_compiled",
     "verify_kernel",

@@ -1,0 +1,55 @@
+"""Abstract-interpretation dataflow framework.
+
+Layers, bottom to top:
+
+* :mod:`.lattice` — interval x stride/congruence abstract domains;
+* :mod:`.engine` — the abstract interpreter (``analyze_kernel``)
+  producing :mod:`.summaries` fact bundles;
+* :mod:`.defuse` — shared-memory def-use over barrier intervals and the
+  barrier-redundancy screen;
+* :mod:`.proofs` — proof records the cleanup pass attaches to deletions.
+
+The framework has three load-bearing consumers: the proof-carrying
+cleanup pass (:mod:`repro.passes.simplify`), the lint rules
+(``dataflow.*`` in :mod:`repro.analysis.verifier`), and the fuzz
+soundness oracle (:mod:`repro.fuzz.oracle`) asserting every concrete
+simulator access lies inside the static summary.
+"""
+
+from .defuse import (
+    DefUseReport,
+    RemovableBarrier,
+    removable_barriers,
+    shared_defuse,
+)
+from .engine import DataflowEngine, analyze_kernel, seed_env
+from .lattice import Interval, Stride, Val
+from .proofs import (
+    RULE_BARRIER_PRIVATE,
+    RULE_GUARD_FALSE,
+    RULE_GUARD_TRUE,
+    CleanupResult,
+    Proof,
+)
+from .summaries import AccessFact, GuardVerdict, KernelFacts
+
+__all__ = [
+    "AccessFact",
+    "CleanupResult",
+    "DataflowEngine",
+    "DefUseReport",
+    "GuardVerdict",
+    "Interval",
+    "KernelFacts",
+    "Proof",
+    "RemovableBarrier",
+    "RULE_BARRIER_PRIVATE",
+    "RULE_GUARD_FALSE",
+    "RULE_GUARD_TRUE",
+    "Stride",
+    "Val",
+    "analyze_kernel",
+    "removable_barriers",
+    "seed_env",
+    "shared_defuse",
+]

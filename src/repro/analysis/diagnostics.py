@@ -47,9 +47,11 @@ def stmt_location(stmt: Optional[Stmt], max_chars: int = 72) -> str:
 class Diagnostic:
     """One finding of one analysis."""
 
-    analysis: str                 # 'races' | 'divergence' | 'bounds' | 'banks'
+    analysis: str                 # 'races' | 'divergence' | 'bounds' |
+                                  # 'banks' | 'dataflow'
     severity: Severity
     message: str
+    rule: str = ""                # stable rule id, e.g. 'dataflow.uninit-read'
     kernel: str = ""
     stage: str = ""
     array: Optional[str] = None
@@ -67,6 +69,8 @@ class Diagnostic:
             "severity": str(self.severity),
             "message": self.message,
         }
+        if self.rule:
+            out["rule"] = self.rule
         if self.kernel:
             out["kernel"] = self.kernel
         if self.stage:
@@ -86,7 +90,7 @@ class Diagnostic:
             where.append(f"kernel {self.kernel}")
         if self.stage:
             where.append(f"stage {self.stage}")
-        head = f"{self.severity}[{self.analysis}]: {self.message}"
+        head = f"{self.severity}[{self.rule or self.analysis}]: {self.message}"
         if where:
             head += f"  ({', '.join(where)})"
         if self.stmt is not None:

@@ -33,6 +33,10 @@ class VerifyOptions:
     divergence: bool = True
     bounds: bool = True
     banks: bool = True
+    #: Abstract-interpretation dataflow lint (``dataflow.*`` rules).  Off
+    #: by default: the fuzz oracle and compile-time verification predate
+    #: it and pin their diagnostic sets; ``repro lint`` turns it on.
+    dataflow: bool = False
 
 
 def verify_kernel(kernel: Kernel, sizes: Mapping[str, int],
@@ -62,6 +66,11 @@ def verify_kernel(kernel: Kernel, sizes: Mapping[str, int],
         report.extend(check_banks(kernel, sizes, block, grid,
                                   kernel_name=name, stage=stage,
                                   machine=machine, accesses=accesses))
+    if options.dataflow:
+        from repro.analysis.dataflow.check import check_dataflow
+        report.extend(check_dataflow(kernel, sizes, block, grid,
+                                     kernel_name=name, stage=stage,
+                                     accesses=accesses, slicing=slicing))
     return report
 
 

@@ -56,6 +56,8 @@ class CompileOptions:
     enable_merge: bool = True
     enable_prefetch: bool = True
     enable_partition: bool = True
+    # Proof-carrying deletion of redundant guards/barriers (dataflow).
+    enable_cleanup: bool = True
 
     block_merge_x: Optional[int] = None   # blocks merged along X (xN)
     block_merge_y: Optional[int] = None
@@ -372,8 +374,15 @@ def _compile_once(naive: Kernel, sizes: Dict[str, int],
         guard.skip_site("prefetch", "disabled")
 
     # -- stage 7: index-expression cleanup ------------------------------------
-    from repro.passes.simplify import SimplifyPass
+    from repro.passes.simplify import ProofCleanupPass, SimplifyPass
     guard.run_site("simplify", lambda: SimplifyPass()(ctx), retryable=True)
+
+    # -- stage 7b: proof-carrying guard/barrier elimination -------------------
+    if options.enable_cleanup:
+        guard.run_site("cleanup", lambda: ProofCleanupPass()(ctx),
+                       retryable=True)
+    else:
+        guard.skip_site("cleanup", "disabled")
 
     # -- stage 8: launch parameters ------------------------------------------
     launch = LaunchPass()

@@ -71,6 +71,11 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
                         help="also profile every stage on both backends "
                              "and treat any dynamic-counter mismatch as a "
                              "divergence")
+    parser.add_argument("--dataflow", action="store_true",
+                        help="also replay every stage against its static "
+                             "dataflow summary and treat any concrete "
+                             "access or branch outside the abstract "
+                             "summary as an 'unsound' divergence")
     parser.add_argument("--corpus-dir", default="tests/corpus",
                         help="where reduced reproducers are written "
                              "(default: tests/corpus)")
@@ -94,7 +99,8 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
 
     opts = OracleOptions(stages=args.stages, machine=machine(args.machine),
                          backend=args.backend,
-                         check_profile=args.profile)
+                         check_profile=args.profile,
+                         check_dataflow=args.dataflow)
     cases_json = []
     counts = {"ok": 0, "rejected": 0, "divergent": 0}
     divergent_names = []
@@ -154,6 +160,7 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         "seed": args.seed,
         "stages": list(args.stages),
         "backend": args.backend or "default",
+        "dataflow": args.dataflow,
         "ok": counts["ok"],
         "rejected": counts["rejected"],
         "divergent": counts["divergent"],

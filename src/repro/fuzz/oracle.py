@@ -71,7 +71,7 @@ class Divergence:
 
     stage: str   # '' for failures before any stage ran
     # 'output' | 'verify' | 'roundtrip' | 'crash' | 'semantic' |
-    # 'backend' | 'profile'
+    # 'backend' | 'profile' | 'unsound'
     kind: str
     detail: str
 
@@ -99,6 +99,13 @@ class OracleOptions:
     #: dynamic counters — a mismatch is a first-class ``profile``
     #: divergence the reducer shrinks like any miscompile.
     check_profile: bool = False
+    #: Abstract-covers-concrete soundness oracle: replay every stage with
+    #: a checker profile asserting each concrete simulator access lies
+    #: inside the dataflow engine's static summary (and each taken branch
+    #: agrees with any definite static verdict).  A violation is a
+    #: first-class ``unsound`` divergence the reducer shrinks like any
+    #: miscompile.
+    check_dataflow: bool = False
 
     def exec_backend(self) -> str:
         """The backend the oracle's own runs use (``both`` => lockstep)."""
@@ -345,6 +352,82 @@ def _cross_check_profiles(stage: str, ck, arrays: Dict[str, np.ndarray],
             f"counters differ across backends: {diff}"))
 
 
+class _SummaryChecker:
+    """A duck-typed profile asserting abstract-covers-concrete.
+
+    Implements the lockstep interpreter's profile interface (``access``,
+    ``sync``, ``branch``) and checks every concrete event against the
+    dataflow engine's :class:`~repro.analysis.dataflow.KernelFacts` for
+    the same AST (facts are keyed by node identity, and the compiled
+    kernel hands the interpreter the very nodes the engine analyzed).
+
+    Violations collected: an executed access the engine never summarized
+    (it claimed the site unreachable), a concrete address outside the
+    static address set, a concrete store at a load-only summary, and a
+    taken branch contradicting a definite static verdict.
+    """
+
+    _CAP = 5  # enough to diagnose; the reducer shrinks the rest
+
+    def __init__(self, facts) -> None:
+        self.facts = facts
+        self.violations: List[str] = []
+
+    def _note(self, text: str) -> None:
+        if len(self.violations) < self._CAP:
+            self.violations.append(text)
+
+    def access(self, space, name, addr, is_store, site, path, lane) -> None:
+        fact = self.facts.accesses.get(id(site))
+        if fact is None:
+            self._note(f"{space} {name!r}: executed access has no static "
+                       f"summary (engine claimed it unreachable; lane "
+                       f"{lane})")
+            return
+        if not fact.address.contains(addr):
+            self._note(f"{space} {name!r}: concrete address {addr} outside "
+                       f"static summary {fact.address} (lane {lane})")
+        if is_store and not fact.is_store:
+            self._note(f"{space} {name!r}: concrete store at a summary "
+                       f"recorded load-only (lane {lane})")
+
+    def sync(self, lane) -> None:
+        pass
+
+    def branch(self, stmt, path, lane, taken) -> None:
+        verdict = self.facts.verdicts.get(id(stmt))
+        if verdict is not None and verdict.verdict is not None \
+                and taken != verdict.verdict:
+            self._note(f"branch '{verdict.cond_text}': concretely "
+                       f"taken={taken} (lane {lane}) contradicts static "
+                       f"verdict always-{verdict.verdict}")
+
+
+def _check_soundness(stage: str, ck, arrays: Dict[str, np.ndarray],
+                     result: CaseResult) -> None:
+    """Replay the stage against its own static summary (lockstep only:
+    the cross-backend checks already pin the two backends to identical
+    event streams, so one replay covers both)."""
+    from repro.analysis.dataflow import analyze_kernel
+    try:
+        facts = analyze_kernel(ck.kernel, ck.size_bindings(),
+                               ck.config.block, ck.config.grid)
+    except Exception as exc:
+        result.divergences.append(Divergence(
+            stage, "unsound", "dataflow engine crashed: " + _describe(exc)))
+        return
+    checker = _SummaryChecker(facts)
+    work = {k: v.copy() for k, v in arrays.items()}
+    try:
+        ck.run(work, backend="lockstep", profile=checker)
+    except Exception as exc:
+        result.divergences.append(Divergence(
+            stage, "crash", "soundness replay: " + _describe(exc)))
+        return
+    for violation in checker.violations:
+        result.divergences.append(Divergence(stage, "unsound", violation))
+
+
 def _check_stage(stage: str, ck, arrays: Dict[str, np.ndarray],
                  reference: Dict[str, np.ndarray], opts: OracleOptions,
                  result: CaseResult) -> None:
@@ -371,6 +454,11 @@ def _check_stage(stage: str, ck, arrays: Dict[str, np.ndarray],
     # 1b. dynamic counters agree bit-for-bit across backends.
     if opts.check_profile:
         _cross_check_profiles(stage, ck, arrays, result)
+
+    # 1c. abstract-covers-concrete: every concrete access and branch the
+    #     simulator performs lies inside the static dataflow summary.
+    if opts.check_dataflow:
+        _check_soundness(stage, ck, arrays, result)
 
     # 2. static verifier stays clean (errors only; warnings are tallied).
     if opts.check_verifier:

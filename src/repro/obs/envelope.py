@@ -23,6 +23,7 @@ KNOWN_SCHEMAS = (
     "repro.lint/1",
     "repro.fuzz/1",
     "repro.bench-backend/1",
+    "repro.bench-dataflow/1",
     "repro.trace/1",
     "repro.profile/1",
     "repro.resilience/1",

@@ -30,7 +30,8 @@ from repro.obs.envelope import make_envelope, validate_envelope
 TRACE_SCHEMA = "repro.trace/1"
 
 #: Event kinds, in the order a reader will meet them.
-EVENT_KINDS = ("span_start", "span_end", "decision", "warning", "rollback")
+EVENT_KINDS = ("span_start", "span_end", "decision", "warning", "rollback",
+               "proof")
 
 
 def snippet(node, max_chars: int = 72) -> str:
@@ -183,6 +184,20 @@ class Tracer:
         return self._record("rollback", message, rule=rule, pass_name=None,
                             stmt=None, details=merged)
 
+    def proof(self, message: str, *, rule: str,
+              pass_name: Optional[str] = None, stmt=None,
+              before: str = "", after: str = "",
+              details: Optional[Dict[str, object]] = None) -> TraceEvent:
+        """Record a proof-carrying deletion made by the cleanup pass.
+
+        Unlike a plain decision, a proof event's ``details`` carry the
+        full serialized :class:`repro.analysis.dataflow.Proof` justifying
+        the rewrite; the decision log shows it inline like any decision.
+        """
+        return self._record("proof", message, rule=rule,
+                            pass_name=pass_name, stmt=stmt, before=before,
+                            after=after, details=details)
+
     def _record(self, kind: str, message: str, *, rule: str,
                 pass_name: Optional[str], stmt, before: str = "",
                 after: str = "",
@@ -208,9 +223,9 @@ class Tracer:
 
     @property
     def decisions(self) -> List[TraceEvent]:
-        """Decision, warning, and rollback events, in emission order."""
+        """Decision, warning, rollback, and proof events, in order."""
         return [e for e in self.events
-                if e.kind in ("decision", "warning", "rollback")]
+                if e.kind in ("decision", "warning", "rollback", "proof")]
 
     def render_lines(self) -> List[str]:
         """The legacy human-readable decision log (one string per event)."""

@@ -1,4 +1,5 @@
-"""Final algebraic cleanup of generated index expressions.
+"""Final algebraic cleanup of generated index expressions, plus the
+proof-carrying structural cleanup built on the dataflow framework.
 
 The merge and partition-camping substitutions leave residue like
 ``(bidx_d * 16 + tidx) - tidx + tidy``; folding it to
@@ -9,11 +10,19 @@ paper's headline properties) and keeps the instruction-count model honest
 The fold is purely syntactic: an expression is re-rendered from its
 affine form over *opaque* identifier terms, so no semantic knowledge is
 needed and anything non-affine is left untouched.
+
+:class:`ProofCleanupPass` is different in kind: it consumes *semantic*
+facts — guard verdicts from :func:`repro.analysis.dataflow.analyze_kernel`
+and barrier-redundancy proofs from
+:func:`repro.analysis.dataflow.removable_barriers` — and deletes code.
+Every deletion carries a :class:`repro.analysis.dataflow.Proof` into the
+compilation trace, and the per-pass differential harness plus the fuzz
+soundness oracle police the claims dynamically.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Mapping, Optional, Tuple
 
 from repro.ir.affine import NotAffine, affine_of
 from repro.lang.astnodes import (
@@ -105,3 +114,157 @@ class SimplifyPass(Pass):
 
         fold_decls(body)
         ctx.kernel.body = body
+
+# ---------------------------------------------------------------------------
+# Proof-carrying structural cleanup
+# ---------------------------------------------------------------------------
+
+#: Cleanup re-analyzes after every change; a handful of rounds is plenty
+#: (each round must delete something or the loop stops).
+_CLEANUP_MAX_ROUNDS = 4
+
+
+def _pure_scalar_cond(cond: Expr) -> bool:
+    """True when evaluating ``cond`` touches no memory and calls nothing.
+
+    Guard elimination is restricted to such conditions so memory-access
+    counters are untouched by the rewrite — only the divergent-branch
+    counters legitimately drop.
+    """
+    return not any(isinstance(e, (ArrayRef, Member, Call))
+                   for e in walk_exprs(cond))
+
+
+def _splice(body: list) -> list:
+    """A branch body ready to stand in place of its ``if``.
+
+    Bodies that declare locals are wrapped in a :class:`Block` so the
+    declaration stays scoped exactly as it was under the branch.
+    """
+    from repro.lang.astnodes import Block
+    if any(isinstance(s, DeclStmt) for s in body):
+        return [Block(list(body))]
+    return list(body)
+
+
+def cleanup_kernel(kernel, sizes: Mapping[str, int],
+                   block: Tuple[int, int], grid: Tuple[int, int], *,
+                   max_rounds: int = _CLEANUP_MAX_ROUNDS,
+                   tracer=None) -> "CleanupResult":
+    """Delete provably-redundant guards and barriers from ``kernel``.
+
+    Mutates ``kernel.body`` in place.  Facts are recomputed from scratch
+    after every mutating round, so later deletions never rely on stale
+    node identities.  Returns the accumulated :class:`CleanupResult`;
+    when ``tracer`` is given every deletion is emitted as a ``proof``
+    trace event with the serialized proof attached.
+    """
+    from repro.analysis.dataflow import (
+        RULE_BARRIER_PRIVATE,
+        RULE_GUARD_FALSE,
+        RULE_GUARD_TRUE,
+        CleanupResult,
+        Proof,
+        analyze_kernel,
+        removable_barriers,
+    )
+    from repro.lang.astnodes import IfStmt, SyncStmt, child_stmt_lists
+    from repro.obs.trace import snippet
+
+    result = CleanupResult()
+
+    def emit(proof: Proof, stmt) -> None:
+        result.add(proof)
+        if tracer is not None:
+            tracer.proof(f"cleanup: removed {proof.subject} "
+                         f"({proof.evidence})",
+                         rule=proof.rule, stmt=stmt,
+                         before=snippet(stmt),
+                         details={"proof": proof.to_dict()})
+
+    for _ in range(max_rounds):
+        changed = False
+
+        facts = analyze_kernel(kernel, sizes, block, grid)
+
+        def strip_guards(stmts: List) -> List:
+            nonlocal changed
+            out: List = []
+            for stmt in stmts:
+                if isinstance(stmt, IfStmt) and _pure_scalar_cond(stmt.cond):
+                    verdict = facts.verdict_for(stmt)
+                    if verdict is not None and verdict.verdict is not None:
+                        rule = (RULE_GUARD_TRUE if verdict.verdict
+                                else RULE_GUARD_FALSE)
+                        kept = (stmt.then_body if verdict.verdict
+                                else stmt.else_body)
+                        emit(Proof(rule=rule,
+                                   subject=f"guard '{verdict.cond_text}'",
+                                   evidence=verdict.evidence,
+                                   block=block, grid=grid), stmt)
+                        changed = True
+                        out.extend(strip_guards(_splice(kept)))
+                        continue
+                for child in child_stmt_lists(stmt):
+                    child[:] = strip_guards(child)
+                out.append(stmt)
+            return out
+
+        kernel.body = strip_guards(kernel.body)
+
+        if not changed:
+            removable = removable_barriers(kernel, sizes, block, grid)
+            doomed = {id(r.stmt): r for r in removable}
+            if doomed:
+                def strip_barriers(stmts: List) -> List:
+                    nonlocal changed
+                    out: List = []
+                    for stmt in stmts:
+                        if isinstance(stmt, SyncStmt) and id(stmt) in doomed:
+                            r = doomed[id(stmt)]
+                            emit(Proof(rule=RULE_BARRIER_PRIVATE,
+                                       subject="barrier __syncthreads()",
+                                       evidence=r.evidence,
+                                       block=block, grid=grid,
+                                       affected_arrays=r.affected_arrays),
+                                 stmt)
+                            changed = True
+                            continue
+                        for child in child_stmt_lists(stmt):
+                            child[:] = strip_barriers(child)
+                        out.append(stmt)
+                    return out
+
+                kernel.body = strip_barriers(kernel.body)
+
+        if not changed:
+            break
+
+    return result
+
+
+class ProofCleanupPass(Pass):
+    """Proof-consuming deletion of redundant guards and barriers.
+
+    Runs after :class:`SimplifyPass` (stage 7b): the expressions it
+    analyzes are already in folded final form, and the launch geometry
+    (``ctx.block`` / ``ctx.grid``) is fixed, so every proof is anchored
+    to the exact configuration the kernel will run under.
+    """
+
+    name = "cleanup"
+    site = "cleanup"
+
+    def run(self, ctx: CompilationContext) -> None:
+        sizes = dict(ctx.sizes)
+        for name in ctx.halved_extents:
+            sizes[name] = sizes[name] // 2
+        result = cleanup_kernel(ctx.kernel, sizes, ctx.block, ctx.grid,
+                                tracer=ctx.trace)
+        if result.guards_removed:
+            ctx.trace.count("guards_removed", result.guards_removed)
+        if result.barriers_removed:
+            ctx.trace.count("barriers_removed", result.barriers_removed)
+        if result.changed:
+            ctx.note(f"cleanup: removed {result.guards_removed} guard(s), "
+                     f"{result.barriers_removed} barrier(s) with proofs")

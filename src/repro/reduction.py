@@ -305,7 +305,8 @@ def compile_reduction(source: str, n_elements: int,
                       *,
                       resilient: bool = False,
                       validate: bool = False,
-                      faults: Optional[object] = None) -> CompiledReduction:
+                      faults: Optional[object] = None,
+                      cleanup: bool = True) -> CompiledReduction:
     """Compile a global-sync reduction kernel into a fissioned program.
 
     ``vectorize=False`` with a complex-pair naive kernel produces the
@@ -348,7 +349,7 @@ def compile_reduction(source: str, n_elements: int,
         try:
             compiled = _build_reduction(naive.name, plan, n_elements,
                                         machine, list(log), faults=faults,
-                                        validate=validate)
+                                        validate=validate, cleanup=cleanup)
             if attempts is not None:
                 attempts.append({"block_threads": plan.block_threads,
                                  "thread_merge": plan.thread_merge,
@@ -383,7 +384,8 @@ def compile_reduction(source: str, n_elements: int,
 def _build_reduction(name: str, plan: ReductionPlan, n_elements: int,
                      machine: GpuSpec, log: List[str],
                      faults: Optional[object] = None,
-                     validate: bool = False) -> CompiledReduction:
+                     validate: bool = False,
+                     cleanup: bool = True) -> CompiledReduction:
     """One rung of the reduction ladder: build, optionally corrupt
     (fault injection), then optionally validate the fissioned program."""
     if faults is not None:
@@ -391,12 +393,28 @@ def _build_reduction(name: str, plan: ReductionPlan, n_elements: int,
     log.append(f"reduction: kernel fission into block tree "
                f"(block={plan.block_threads}, thread merge "
                f"{plan.thread_merge}) + relaunch over partials")
-    exact = n_elements % (plan.block_threads * plan.thread_merge) == 0
-    stage1 = parse_kernel(block_reduce_source(plan, exact=exact))
+    stage1 = parse_kernel(block_reduce_source(plan))
     stage2 = parse_kernel(partial_reduce_source(plan.block_threads))
     compiled = CompiledReduction(name=name, plan=plan, stage1=stage1,
                                  stage2=stage2, n_elements=n_elements,
                                  machine=machine, log=log)
+    # Proof-carrying cleanup of stage 1 under its actual launch geometry:
+    # when the element count divides the per-block chunk exactly, the
+    # dataflow engine proves the ragged bounds guard always-true and the
+    # cleanup pass deletes it (the form a tuned library ships).  Stage 2
+    # is relaunched with shrinking n/grid, so no single geometry covers
+    # it — it is never cleaned.
+    if cleanup:
+        from repro.passes.simplify import cleanup_kernel
+        nb = compiled.stage1_grid()
+        if plan.load_style == "staged":
+            stage1_sizes = {"n2": 2 * n_elements, "nb": nb}
+        else:
+            stage1_sizes = {"n": n_elements, "nb": nb}
+        cleaned = cleanup_kernel(stage1, stage1_sizes,
+                                 (plan.block_threads, 1), (nb, 1))
+        for proof in cleaned.proofs:
+            log.append(f"cleanup: {proof.render()}")
     if faults is not None and faults.trip("corrupt", "reduction"):
         from repro.resilience.faults import corrupt_kernel
         desc = corrupt_kernel(compiled.stage1)

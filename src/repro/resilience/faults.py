@@ -49,7 +49,7 @@ FAULT_KINDS: Tuple[str, ...] = ("raise", "corrupt", "budget")
 #: is the kernel-fission site of :mod:`repro.reduction`.
 FAULT_SITES: Tuple[str, ...] = ("vectorize", "coalesce", "merge",
                                 "partition", "prefetch", "simplify",
-                                "reduction")
+                                "cleanup", "reduction")
 
 #: Environment variable holding an ambient fault spec.
 ENV_VAR = "REPRO_FAULTS"

@@ -119,11 +119,12 @@ class PhaseSlicing:
 
 
 class _Slicer:
-    def __init__(self) -> None:
+    def __init__(self, ignore: frozenset = frozenset()) -> None:
         self.slicing = PhaseSlicing()
         self._counter = 0
         self._guards: List[Expr] = []
         self._loops: List[LoopStmt] = []
+        self._ignore = ignore  # id(SyncStmt) treated as absent
 
     def _new_region(self) -> int:
         self._counter += 1
@@ -139,6 +140,8 @@ class _Slicer:
         for stmt in body:
             s._phase[id(stmt)] = cur
             if isinstance(stmt, SyncStmt):
+                if id(stmt) in self._ignore:
+                    continue
                 s.barriers.append(BarrierSite(
                     stmt=stmt, guards=tuple(self._guards),
                     loops=tuple(self._loops)))
@@ -167,6 +170,12 @@ class _Slicer:
         return cur
 
 
-def slice_phases(kernel: Kernel) -> PhaseSlicing:
-    """Compute the barrier-phase slicing of ``kernel``."""
-    return _Slicer().run(kernel)
+def slice_phases(kernel: Kernel,
+                 ignore: frozenset = frozenset()) -> PhaseSlicing:
+    """Compute the barrier-phase slicing of ``kernel``.
+
+    ``ignore`` is a set of ``id(SyncStmt)`` values to treat as absent —
+    the dataflow cleanup pass uses this to ask "what would the phase
+    structure look like without this barrier?" before deleting it.
+    """
+    return _Slicer(ignore).run(kernel)

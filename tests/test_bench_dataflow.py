@@ -1,0 +1,101 @@
+"""Pins for the proof-carrying cleanup bench and its committed record.
+
+Three layers, mirroring ``test_bench_backend.py``:
+
+* smoke-run ``benchmarks/bench_dataflow.py`` on tiny launches so the
+  bench itself cannot rot;
+* validate the committed ``BENCH_dataflow.json`` against its versioned
+  ``repro.bench-dataflow/1`` envelope;
+* assert the headline claims — cleanup eliminates the rd stage-1 guard
+  at the committed power-of-two scale (a nonzero dynamic branch-counter
+  delta), mm/tp are honest zeros, and every A/B pair is bit-identical
+  on both backends.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = ROOT / "BENCH_dataflow.json"
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_dataflow", ROOT / "benchmarks" / "bench_dataflow.py")
+bench_dataflow = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_dataflow)
+
+REQUIRED_ROW_KEYS = {"kernel", "scale", "sizes", "guards_removed",
+                     "barriers_removed", "counters", "bit_identical"}
+
+
+@pytest.fixture(scope="module")
+def smoke_envelope():
+    """One tiny-launch bench run shared by the smoke assertions."""
+    # rd at 1 << 13 is the smallest scale whose per-block chunk
+    # (256 threads x 32-way merge = 8192) divides the input exactly,
+    # making the stage-1 guard provably redundant.
+    return bench_dataflow.run_bench(
+        scales={"mm": 16, "rd": 1 << 13})
+
+
+class TestSmokeRun:
+    def test_envelope_shape(self, smoke_envelope):
+        assert smoke_envelope["schema"] == bench_dataflow.BENCH_SCHEMA
+        assert {r["kernel"] for r in smoke_envelope["results"]} \
+            == {"mm", "rd"}
+        for row in smoke_envelope["results"]:
+            assert REQUIRED_ROW_KEYS <= set(row)
+
+    def test_cleanup_stays_bit_exact(self, smoke_envelope):
+        for row in smoke_envelope["results"]:
+            assert row["bit_identical"] == {"lockstep": True,
+                                            "vectorized": True}, row["kernel"]
+
+    def test_rd_guard_eliminated_even_at_smoke_scale(self, smoke_envelope):
+        (rd,) = [r for r in smoke_envelope["results"] if r["kernel"] == "rd"]
+        assert rd["stage1_guard_eliminated"]
+        assert rd["guards_removed"] >= 1
+        assert rd["counters"]["branch_evals_delta"] > 0
+
+    def test_deltas_never_negative(self, smoke_envelope):
+        # Cleanup only deletes code: dynamic work can only go down.
+        for row in smoke_envelope["results"]:
+            assert row["counters"]["branch_evals_delta"] >= 0
+            assert row["counters"]["barriers_delta"] >= 0
+
+
+class TestCommittedRecord:
+    @pytest.fixture(scope="class")
+    def record(self):
+        with open(BENCH_JSON) as f:
+            return json.load(f)
+
+    def test_schema_and_kernels(self, record):
+        from repro.obs.envelope import validate_envelope
+        validate_envelope(record, schema=bench_dataflow.BENCH_SCHEMA,
+                          required=["machine", "results"])
+        assert {r["kernel"] for r in record["results"]} == {"mm", "tp", "rd"}
+
+    def test_rows_complete(self, record):
+        for row in record["results"]:
+            assert REQUIRED_ROW_KEYS <= set(row), row["kernel"]
+
+    def test_rd_headline(self, record):
+        (rd,) = [r for r in record["results"] if r["kernel"] == "rd"]
+        assert rd["guards_removed"] >= 1
+        assert rd["stage1_guard_eliminated"]
+        assert rd["counters"]["branch_evals_delta"] > 0
+
+    def test_mm_tp_are_honest_zeros(self, record):
+        for name in ("mm", "tp"):
+            (row,) = [r for r in record["results"] if r["kernel"] == name]
+            assert row["guards_removed"] == 0
+            assert row["barriers_removed"] == 0
+            assert row["counters"]["branch_evals_delta"] == 0
+
+    def test_bit_identical_everywhere(self, record):
+        for row in record["results"]:
+            assert row["bit_identical"] == {"lockstep": True,
+                                            "vectorized": True}, row["kernel"]

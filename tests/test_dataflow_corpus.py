@@ -1,0 +1,64 @@
+"""Corpus-wide pins for the dataflow framework.
+
+Three properties over every corpus case (seeds and regressions alike),
+at every pipeline stage the compiler accepts:
+
+* the engine analyzes the kernel without crashing;
+* the def-use detector reports **no** uninitialized shared reads — the
+  corpus is all known-good kernels, so any report is a false positive;
+* a full oracle replay with the abstract-covers-concrete soundness
+  check enabled finds no divergence: every concrete access and branch
+  lands inside the static summary.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.dataflow import analyze_kernel
+from repro.analysis.dataflow.check import RULE_LINT_UNINIT, check_dataflow
+from repro.compiler import compile_stages
+from repro.fuzz.corpus import load_corpus
+from repro.fuzz.oracle import OracleOptions, run_case
+from repro.machine import GTX280
+from repro.passes.base import PassError
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CASES = load_corpus(CORPUS_DIR)
+
+
+def _stages(case):
+    try:
+        return compile_stages(case.source, dict(case.sizes),
+                              tuple(case.domain), GTX280)
+    except PassError:
+        return {}
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_engine_clean_on_every_stage(case):
+    for stage, ck in _stages(case).items():
+        facts = analyze_kernel(ck.kernel, ck.size_bindings(),
+                               ck.config.block, ck.config.grid)
+        assert facts.accesses or not ck.kernel.body, \
+            f"{case.name}:{stage}: engine recorded no accesses"
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_no_false_uninit_reads(case):
+    for stage, ck in _stages(case).items():
+        diags = check_dataflow(ck.kernel, ck.size_bindings(),
+                               ck.config.block, ck.config.grid,
+                               kernel_name=case.name, stage=stage)
+        uninit = [d for d in diags if d.rule == RULE_LINT_UNINIT]
+        assert uninit == [], \
+            f"{case.name}:{stage}: " + "; ".join(d.message for d in uninit)
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+def test_soundness_oracle_clean(case):
+    result = run_case(case, OracleOptions(check_dataflow=True))
+    unsound = [d for d in result.divergences if d.kind == "unsound"]
+    assert unsound == [], "; ".join(d.render() for d in unsound)
+    assert result.status != "divergent", \
+        "; ".join(d.render() for d in result.divergences)

@@ -1,0 +1,161 @@
+"""Pins for shared-memory def-use over barrier intervals.
+
+The detectors are exhaustive over block (0,0)'s threads (capped), so
+every report here is a *proof*, not a heuristic: uninitialized reads
+list the exact missing addresses, dead stores name the unread site, and
+removable barriers carry the thread-privacy evidence the cleanup pass
+consumes.  The in-loop pin at the bottom is the soundness regression
+test for barrier removal: a barrier inside a loop orders *iterations*,
+which pairwise phase comparison cannot see, so such barriers are never
+candidates no matter what the access pattern looks like.
+"""
+
+from repro.analysis.dataflow import removable_barriers, shared_defuse
+from repro.lang.parser import parse_kernel
+
+
+def _defuse(source, sizes, block, grid=(1, 1)):
+    return shared_defuse(parse_kernel(source), sizes, block, grid)
+
+
+def _removable(source, sizes, block, grid=(1, 1)):
+    return removable_barriers(parse_kernel(source), sizes, block, grid)
+
+
+class TestUninitReads:
+    def test_half_written_tile_read_fully(self):
+        report = _defuse("""
+__global__ void k(float a[n], int n) {
+    __shared__ float s[256];
+    if (tidx < 128) {
+        s[tidx] = a[idx];
+    }
+    __syncthreads();
+    a[idx] = s[255 - tidx];
+}
+""", {"n": 256}, (256, 1))
+        ((access, missing),) = report.uninit_reads
+        assert access.array == "s"
+        # Exactly the unwritten upper half is reported.
+        assert sorted(missing) == list(range(128, 256))
+
+    def test_fully_written_tile_is_clean(self):
+        report = _defuse("""
+__global__ void k(float a[n], int n) {
+    __shared__ float s[256];
+    s[tidx] = a[idx];
+    __syncthreads();
+    a[idx] = s[255 - tidx];
+}
+""", {"n": 256}, (256, 1))
+        assert report.uninit_reads == []
+
+    def test_order_insensitive_by_design(self):
+        # The detector deliberately ignores program order (store-after-
+        # read is the race detector's business); reads covered by *some*
+        # store are not reported.
+        report = _defuse("""
+__global__ void k(float a[n], int n) {
+    __shared__ float s[256];
+    a[idx] = s[tidx];
+    __syncthreads();
+    s[tidx] = a[idx];
+}
+""", {"n": 256}, (256, 1))
+        assert report.uninit_reads == []
+
+
+class TestDeadStores:
+    def test_disjoint_store_is_dead(self):
+        report = _defuse("""
+__global__ void k(float a[n], int n) {
+    __shared__ float s[512];
+    s[tidx] = a[idx];
+    s[256 + tidx] = a[idx] + 1.0f;
+    __syncthreads();
+    a[idx] = s[tidx];
+}
+""", {"n": 256}, (256, 1))
+        (dead,) = report.dead_stores
+        assert dead.array == "s"
+        assert dead.is_store
+
+    def test_compound_store_counts_as_read(self):
+        # s[tidx] += ... reads its own target; not a dead store.
+        report = _defuse("""
+__global__ void k(float a[n], int n) {
+    __shared__ float s[256];
+    s[tidx] = a[idx];
+    __syncthreads();
+    s[tidx] += 1.0f;
+}
+""", {"n": 256}, (256, 1))
+        assert report.dead_stores == []
+
+
+class TestRemovableBarriers:
+    def test_thread_private_array_barrier_removable(self):
+        (r,) = _removable("""
+__global__ void k(float a[n], int n) {
+    __shared__ float s[256];
+    s[tidx] = a[idx];
+    __syncthreads();
+    a[idx] = s[tidx] * 2.0f;
+}
+""", {"n": 256}, (256, 1))
+        # Both arrays span the barrier; both are proved thread-private.
+        assert set(r.affected_arrays) == {"a", "s"}
+        assert "injective" in r.evidence
+
+    def test_cross_thread_exchange_barrier_kept(self):
+        assert _removable("""
+__global__ void k(float a[n], int n) {
+    __shared__ float s[256];
+    s[tidx] = a[idx];
+    __syncthreads();
+    a[idx] = s[255 - tidx];
+}
+""", {"n": 256}, (256, 1)) == []
+
+    def test_adjacent_double_barrier_second_removable(self):
+        removable = _removable("""
+__global__ void k(float a[n], int n) {
+    __shared__ float s[256];
+    s[tidx] = a[idx];
+    __syncthreads();
+    __syncthreads();
+    a[idx] = s[255 - tidx];
+}
+""", {"n": 256}, (256, 1))
+        # One of the pair separates no accesses; the other still guards
+        # the cross-thread exchange and must stay.
+        assert len(removable) == 1
+        assert "separates no accesses" in removable[0].evidence
+
+    def test_in_loop_barrier_never_removable(self):
+        # Pairwise same-phase comparison cannot see iteration ordering:
+        # removing this barrier would let iteration i+1's store race
+        # iteration i's read even though each iteration's accesses are
+        # thread-private within itself.  Loops are excluded wholesale.
+        assert _removable("""
+__global__ void k(float a[n], int n) {
+    __shared__ float s[256];
+    for (int i = 0; i < n; i = i + 1) {
+        s[tidx] = a[idx] + i;
+        __syncthreads();
+        a[idx] = s[tidx];
+    }
+}
+""", {"n": 8}, (256, 1)) == []
+
+    def test_conditional_barrier_not_removable(self):
+        # Only unconditional block-scope barriers are candidates.
+        assert _removable("""
+__global__ void k(float a[n], int n) {
+    __shared__ float s[256];
+    s[tidx] = a[idx];
+    if (tidx < 8)
+        __syncthreads();
+    a[idx] = s[tidx];
+}
+""", {"n": 256}, (256, 1)) == []

@@ -1,0 +1,191 @@
+"""Pins for the abstract-interpretation engine over kernel ASTs.
+
+The headline behaviors: launch-geometry seeding, ragged-loop widening
+with guard refinement at the loop head (the interval stabilizes at
+``[init_lo, n-1]`` instead of diverging or going straight to top),
+congruence tracking through merge-style index arithmetic, and
+three-valued guard verdicts with printable evidence.
+"""
+
+from repro.analysis.dataflow import Interval, Stride, analyze_kernel, seed_env
+from repro.lang.astnodes import ArrayRef, IfStmt, walk_exprs_of_stmt, walk_stmts
+from repro.lang.parser import parse_kernel
+
+
+def _facts(source, sizes, block, grid):
+    return analyze_kernel(parse_kernel(source), sizes, block, grid)
+
+
+def _only_ref(kernel, array):
+    refs = [e for stmt in walk_stmts(kernel.body)
+            for top in walk_exprs_of_stmt(stmt)
+            for e in walk_exprs(top)
+            if isinstance(e, ArrayRef) and e.base.name == array]
+    assert refs, f"no reference to {array}"
+    return refs
+
+
+def walk_exprs(expr):
+    from repro.lang.astnodes import walk_exprs as _walk
+    return _walk(expr)
+
+
+class TestSeeding:
+    def test_launch_geometry_seeds(self):
+        kernel = parse_kernel("""
+__global__ void k(float a[n], int n) { a[idx] = 0.0f; }
+""")
+        env = seed_env(kernel, {"n": 1024}, block=(256, 1), grid=(4, 1))
+        assert env["tidx"].iv == Interval(0, 255)
+        assert env["tidx"].st == Stride(1, 0)
+        assert env["bidx"].iv == Interval(0, 3)
+        assert env["bdimx"].const_value() == 256
+        assert env["idx"].iv == Interval(0, 1023)
+        assert env["n"].const_value() == 1024
+
+    def test_unbound_scalar_param_is_top(self):
+        kernel = parse_kernel("""
+__global__ void k(float a[n], int n) { a[idx] = 0.0f; }
+""")
+        env = seed_env(kernel, {}, block=(16, 1), grid=(1, 1))
+        assert env["n"].iv == Interval.top()
+
+    def test_single_thread_axis_is_exact(self):
+        kernel = parse_kernel("""
+__global__ void k(float a[n], int n) { a[idx] = 0.0f; }
+""")
+        env = seed_env(kernel, {"n": 4}, block=(4, 1), grid=(1, 1))
+        assert env["tidy"].const_value() == 0
+        assert env["bidx"].const_value() == 0
+
+
+class TestRaggedLoopWidening:
+    SRC = """
+__global__ void k(float a[n], int n) {
+    for (int pos = idx; pos < n; pos = pos + gdimx * bdimx) {
+        a[pos] = 0.0f;
+    }
+}
+"""
+
+    def test_grid_stride_loop_stabilizes_at_guard_bound(self):
+        # n = 1000 is ragged (not a multiple of the 512-thread sweep):
+        # widening sends the head interval to +inf, then the loop-head
+        # guard refines the recorded body back to pos <= n-1.
+        facts = _facts(self.SRC, {"n": 1000}, (256, 1), (2, 1))
+        (fact,) = facts.facts_for_array("a")
+        assert fact.address.iv == Interval(0, 999)
+        assert fact.is_store
+
+    def test_unknown_bound_still_sound(self):
+        facts = _facts(self.SRC, {}, (256, 1), (2, 1))
+        (fact,) = facts.facts_for_array("a")
+        # No binding for n: the upper bound is unknown, the lower holds.
+        assert fact.address.iv.lo == 0
+        assert fact.address.iv.hi is None
+
+    def test_halving_loop_exit_env(self):
+        facts = _facts("""
+__global__ void k(float a[n], int n) {
+    int st = bdimx / 2;
+    for (; st > 0; st = st / 2) {
+        a[idx] = a[idx] + 1.0f;
+    }
+    a[idx] = 0.0f;
+}
+""", {"n": 256}, (256, 1), (1, 1))
+        # After the loop the guard st > 0 is false; st halves to 0.
+        assert facts.exit_env["st"].iv.contains(0)
+        assert not facts.exit_env["st"].iv.contains(1)
+
+
+class TestCongruence:
+    def test_block_merge_index_keeps_stride(self):
+        # The merge pass's signature shape: a row index 16*idy + c.
+        facts = _facts("""
+__global__ void k(float a[n][n], int n) {
+    a[16 * idy + 3][tidx] = 0.0f;
+}
+""", {"n": 64}, (16, 1), (1, 4))
+        (fact,) = facts.facts_for_array("a")
+        row = fact.index_vals[0]
+        assert row.st == Stride(16, 3)
+        assert row.iv == Interval(3, 51)   # idy in [0,3]
+
+    def test_scaled_thread_index_stride(self):
+        facts = _facts("""
+__global__ void k(float a[n], int n) {
+    a[tidx * 4] = 0.0f;
+}
+""", {"n": 64}, (16, 1), (1, 1))
+        (fact,) = facts.facts_for_array("a")
+        assert fact.index_vals[0].st == Stride(4, 0)
+        assert fact.index_vals[0].iv == Interval(0, 60)
+
+
+class TestGuardVerdicts:
+    GUARDED = """
+__global__ void k(float a[n], int n) {
+    if (idx < n) {
+        a[idx] = 0.0f;
+    }
+}
+"""
+
+    def _verdicts(self, sizes, block, grid):
+        facts = _facts(self.GUARDED, sizes, block, grid)
+        return list(facts.verdicts.values())
+
+    def test_guard_always_true_when_domain_covers(self):
+        (v,) = self._verdicts({"n": 512}, (256, 1), (2, 1))
+        assert v.verdict is True
+        assert "always True" in v.evidence
+
+    def test_guard_unknown_when_ragged(self):
+        (v,) = self._verdicts({"n": 500}, (256, 1), (2, 1))
+        assert v.verdict is None
+
+    def test_guard_always_false_marks_unreachable(self):
+        facts = _facts("""
+__global__ void k(float a[n], int n) {
+    if (tidx > 255) {
+        a[0] = 1.0f;
+    }
+    a[idx] = 0.0f;
+}
+""", {"n": 256}, (256, 1), (1, 1))
+        verdicts = {v.cond_text: v for v in facts.verdicts.values()}
+        assert verdicts["tidx > 255"].verdict is False
+        # The unreachable store gets no fact; the reachable one does.
+        assert len(facts.facts_for_array("a")) == 1
+
+    def test_thread_dependent_guard_is_unknown(self):
+        facts = _facts("""
+__global__ void k(float a[n], int n) {
+    if (tidx == 0) {
+        a[bidx] = 0.0f;
+    }
+}
+""", {"n": 4}, (256, 1), (4, 1))
+        (v,) = facts.verdicts.values()
+        assert v.verdict is None
+        # But refinement still narrows the guarded body: tidx == 0 there.
+        (fact,) = facts.facts_for_array("a")
+        assert fact.address.iv == Interval(0, 3)
+
+
+class TestAbstractCoversConcrete:
+    def test_summary_contains_every_executed_address(self):
+        # Cross-check the engine against brute-force enumeration of the
+        # same index expression over all threads.
+        n = 64
+        facts = _facts("""
+__global__ void k(float a[n], int n) {
+    a[(idx * 2) % n] = 1.0f;
+}
+""", {"n": n}, (16, 1), (2, 1))
+        (fact,) = facts.facts_for_array("a")
+        for idx in range(32):
+            assert fact.address.contains((idx * 2) % n), idx
+        assert fact.address.iv.lo >= 0
+        assert fact.address.iv.hi <= n - 1

@@ -137,10 +137,13 @@ class TestLoopBackEdge:
         assert "tidx" in " ".join(reasons)
 
 
-def test_analysis_shim_reexports_sim_phases():
-    """repro.analysis.phases stays importable and is the same object."""
-    from repro.analysis import phases as shim
+def test_analysis_shim_removed():
+    """The repro.analysis.phases shim is gone; the package re-exports
+    the canonical repro.sim.phases objects instead."""
+    import pytest
+    with pytest.raises(ImportError):
+        import repro.analysis.phases  # noqa: F401
+    import repro.analysis as analysis
     from repro.sim import phases as canonical
-    assert shim.slice_phases is canonical.slice_phases
-    assert shim.PhaseSlicing is canonical.PhaseSlicing
-    assert shim.BarrierSite is canonical.BarrierSite
+    assert analysis.slice_phases is canonical.slice_phases
+    assert analysis.PhaseSlicing is canonical.PhaseSlicing
