@@ -9,7 +9,8 @@ Usage::
     python -m repro lint [KERNEL ...] [--stage STAGE] [--scale N] [--json]
 
     python -m repro fuzz [--seed N] [--count M] [--stages S1,S2] \
-        [--backend lockstep|vectorized|auto|both] [--json] [--profile]
+        [--backend lockstep|vectorized|auto|both] [--schedules K] \
+        [--resume-seeds S1,S2] [--json] [--profile]
 
     python -m repro profile [KERNEL ...] [--stage STAGE] [--scale N] \
         [--backend both] [--tolerance F] [--json]

@@ -14,12 +14,21 @@ pipeline stage statically:
 * :mod:`repro.analysis.banks`      — shared-memory bank-conflict lint;
 * :mod:`repro.analysis.dataflow`   — abstract-interpretation dataflow
   framework (interval + stride lattices, affine access summaries,
-  barrier-interval def-use, and proof objects for the cleanup pass).
+  barrier-interval def-use, and proof objects for the cleanup pass);
+* :mod:`repro.analysis.confirm`    — dynamic confirmation of race
+  warnings by searching the warp-schedule space for a witnessing
+  interleaving (the static detector's conservative findings become
+  confirmed / refuted-up-to-budget).
 
 :mod:`repro.analysis.verifier` orchestrates them over a shared
 diagnostics framework (:mod:`repro.analysis.diagnostics`).
 """
 
+from repro.analysis.confirm import (
+    ScheduleWitness,
+    assert_schedule_invariant,
+    confirm_race,
+)
 from repro.analysis.dataflow import KernelFacts, analyze_kernel
 from repro.analysis.dataflow.check import check_dataflow
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
@@ -31,10 +40,13 @@ __all__ = [
     "DiagnosticReport",
     "KernelFacts",
     "PhaseSlicing",
+    "ScheduleWitness",
     "Severity",
     "VerifyOptions",
     "analyze_kernel",
+    "assert_schedule_invariant",
     "check_dataflow",
+    "confirm_race",
     "slice_phases",
     "verify_compiled",
     "verify_kernel",

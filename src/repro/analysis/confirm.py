@@ -1,0 +1,230 @@
+"""Dynamic confirmation of static race warnings via schedule search.
+
+The static race detector (:mod:`repro.analysis.races`) is conservative:
+it reports every pair of shared accesses that *may* co-execute in one
+barrier phase, which admits false positives by design.  This module is
+the other half of the cross-wire the ROADMAP asked for — it takes a
+kernel the verifier flagged and *searches the schedule space* for an
+interleaving that actually witnesses the race, using the scheduled
+backend (:mod:`repro.sim.scheduled`) against a lockstep reference:
+
+* differing output bits under some seeded schedule ⇒ ``'output'``
+  witness (the classic lost-update / stale-read manifestation);
+* a deadlock only the scheduled backend reports ⇒ ``'deadlock'``
+  witness (barrier reachable by some but not all threads);
+* any other error-family disagreement ⇒ ``'error'`` witness.
+
+A returned :class:`ScheduleWitness` carries the (seed, scheduler) pair,
+which — because :func:`repro.sim.scheduled.make_scheduler` is fully
+deterministic — replays the exact interleaving.  ``None`` means the
+budget was exhausted without a witness: the warning stands *refuted up
+to K schedules*, not proven false.
+
+:func:`assert_schedule_invariant` is the contrapositive driver, used on
+stages the dataflow engine proved barrier-free or removable-barrier-safe
+(PR 6): it raises if any schedule disagrees with lockstep, making those
+proofs dynamically falsifiable.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lang.astnodes import ArrayRef, AssignStmt, Kernel, walk_stmts
+from repro.sim.interp import BarrierError, LaunchConfig
+from repro.sim.scheduled import (
+    DeadlockError,
+    ScheduledInterpreter,
+    make_scheduler,
+    schedule_plan,
+)
+
+__all__ = ["ScheduleWitness", "assert_schedule_invariant", "confirm_race"]
+
+
+@dataclass(frozen=True)
+class ScheduleWitness:
+    """One interleaving that dynamically witnesses schedule-dependence."""
+
+    seed: int
+    scheduler: str               # 'rr' | 'random' | 'chaos'
+    kind: str                    # 'output' | 'deadlock' | 'error'
+    detail: str                  # human-readable disagreement description
+    yields: int = 0              # sequence points executed in the run
+    trace_tail: Tuple[str, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed, "scheduler": self.scheduler,
+                "kind": self.kind, "detail": self.detail,
+                "yields": self.yields, "trace_tail": list(self.trace_tail)}
+
+    def render(self) -> str:
+        return (f"schedule witness ({self.scheduler!r} seed {self.seed}, "
+                f"{self.yields} yields): {self.kind}: {self.detail}")
+
+
+# ---------------------------------------------------------------------------
+# Deterministic inputs (standalone: analysis must not import repro.fuzz)
+# ---------------------------------------------------------------------------
+
+def _output_names(kernel: Kernel) -> set:
+    """Array parameters the kernel writes (assignment targets)."""
+    written = set()
+    params = {p.name for p in kernel.array_params()}
+    for stmt in walk_stmts(kernel.body):
+        if isinstance(stmt, AssignStmt) and isinstance(stmt.target, ArrayRef):
+            if stmt.target.base.name in params:
+                written.add(stmt.target.base.name)
+    return written
+
+
+def _default_arrays(kernel: Kernel,
+                    sizes: Dict[str, int]) -> Dict[str, np.ndarray]:
+    """Small integer-valued float inputs, seeded from the kernel identity
+    (same exact-representability argument as the fuzz oracle's inputs:
+    integer sums and products compare exactly, so reassociation cannot
+    mask a divergence)."""
+    text = kernel.name + "|" + repr(sorted(sizes.items()))
+    rng = np.random.default_rng(zlib.crc32(text.encode()))
+    written = _output_names(kernel)
+    arrays: Dict[str, np.ndarray] = {}
+    for p in kernel.array_params():
+        shape = p.array_type().resolved_dims(sizes)
+        dtype = np.int32 if p.type.name == "int" else np.float32
+        if p.name in written:
+            arrays[p.name] = np.zeros(shape, dtype=dtype)
+        else:
+            arrays[p.name] = rng.integers(0, 8, size=shape).astype(dtype)
+    return arrays
+
+
+def _family(exc: Optional[BaseException]) -> str:
+    if exc is None:
+        return "ok"
+    if isinstance(exc, BarrierError):
+        return "BarrierError"
+    return type(exc).__name__
+
+
+def _first_mismatch(got: Dict[str, np.ndarray],
+                    want: Dict[str, np.ndarray]) -> Optional[str]:
+    for name in sorted(want):
+        a, b = got[name], want[name]
+        if not np.array_equal(a, b):
+            bad = int(np.count_nonzero(a != b))
+            flat = np.argwhere(a != b)[0]
+            where = tuple(int(i) for i in flat)
+            return (f"array {name!r}: {bad} element(s) differ (first at "
+                    f"{where}: {a[tuple(flat)]!r} != {b[tuple(flat)]!r})")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The drivers
+# ---------------------------------------------------------------------------
+
+def confirm_race(kernel: Kernel, sizes: Dict[str, int],
+                 block: Tuple[int, int], grid: Tuple[int, int], *,
+                 schedules: int = 8,
+                 seeds: Optional[Sequence[int]] = None,
+                 scalars: Optional[Dict[str, object]] = None,
+                 arrays: Optional[Dict[str, np.ndarray]] = None,
+                 tracer=None) -> Optional[ScheduleWitness]:
+    """Search K seeded schedules for an interleaving witnessing a race.
+
+    Runs the kernel once on the lockstep backend as the reference, then
+    under each planned (seed, scheduler) pair on the scheduled backend;
+    the first disagreement — bits, deadlock, or error family — is
+    returned as a :class:`ScheduleWitness`.  ``None`` ⇒ no witness found
+    within the budget (refuted up to ``schedules`` interleavings).
+
+    ``arrays`` defaults to deterministic inputs derived from the kernel
+    identity; ``seeds`` overrides ``range(schedules)`` (how an explicit
+    replay or a resumed campaign narrows the search).  ``tracer`` (a
+    :class:`repro.obs.trace.Tracer`) receives one ``schedule`` event per
+    run, so traces show which interleavings were searched.
+    """
+    from repro.sim.backend import run_kernel
+
+    config = LaunchConfig(grid=tuple(grid), block=tuple(block))
+    if scalars is None:
+        scalars = {p.name: sizes[p.name] for p in kernel.scalar_params()}
+    if arrays is None:
+        arrays = _default_arrays(kernel, sizes)
+
+    reference = {k: v.copy() for k, v in arrays.items()}
+    try:
+        run_kernel(kernel, config, reference, scalars, backend="lockstep")
+        ref_exc: Optional[BaseException] = None
+    except Exception as exc:
+        ref_exc = exc
+    ref_family = _family(ref_exc)
+
+    interp = ScheduledInterpreter(kernel)
+    for seed, sched_kind in schedule_plan(schedules, seeds):
+        sched = make_scheduler(sched_kind, seed)
+        work = {k: v.copy() for k, v in arrays.items()}
+        try:
+            result = interp.run(config, work, scalars, scheduler=sched)
+            sched_exc: Optional[BaseException] = None
+        except Exception as exc:
+            sched_exc = exc
+            result = sched.last_result
+        yields = result.yields if result is not None else 0
+        tail = tuple(result.trace_tail) if result is not None else ()
+
+        witness: Optional[ScheduleWitness] = None
+        family = _family(sched_exc)
+        if family != ref_family:
+            kind = "deadlock" if isinstance(sched_exc, DeadlockError) \
+                else "error"
+            witness = ScheduleWitness(
+                seed, sched_kind, kind,
+                f"lockstep {ref_family} ({ref_exc}) vs scheduled "
+                f"{family} ({sched_exc})".replace("(None)", ""),
+                yields, tail)
+        elif sched_exc is None and ref_exc is None:
+            mismatch = _first_mismatch(work, reference)
+            if mismatch:
+                witness = ScheduleWitness(seed, sched_kind, "output",
+                                          mismatch, yields, tail)
+        if tracer is not None:
+            verdict = witness.kind if witness else "agrees"
+            tracer.schedule(
+                f"schedule {sched_kind!r} seed {seed}: {verdict}",
+                seed=seed, scheduler=sched_kind,
+                details={"yields": yields, "verdict": verdict,
+                         "kernel": kernel.name})
+        if witness is not None:
+            return witness
+    return None
+
+
+def assert_schedule_invariant(kernel: Kernel, sizes: Dict[str, int],
+                              block: Tuple[int, int],
+                              grid: Tuple[int, int], *,
+                              schedules: int = 4,
+                              seeds: Optional[Sequence[int]] = None,
+                              scalars: Optional[Dict[str, object]] = None,
+                              arrays: Optional[Dict[str, np.ndarray]] = None,
+                              tracer=None) -> int:
+    """Assert no schedule in the budget disagrees with lockstep.
+
+    The dual of :func:`confirm_race`, used on kernels a static analysis
+    claims schedule-invariant (barrier-free, or safe after proof-carrying
+    barrier removal): raises :class:`AssertionError` carrying the full
+    witness description if any seeded schedule diverges, otherwise
+    returns the number of schedules checked.
+    """
+    witness = confirm_race(kernel, sizes, block, grid, schedules=schedules,
+                           seeds=seeds, scalars=scalars, arrays=arrays,
+                           tracer=tracer)
+    if witness is not None:
+        raise AssertionError(
+            f"kernel {kernel.name!r} claimed schedule-invariant but "
+            + witness.render())
+    return len(schedule_plan(schedules, seeds))

@@ -140,7 +140,7 @@ class CompiledKernel:
     def run(self, arrays: Dict[str, np.ndarray],
             scalars: Optional[Dict[str, object]] = None,
             trace=None, backend: Optional[str] = None,
-            profile=None) -> str:
+            profile=None, scheduler=None) -> str:
         """Execute on the functional simulator; ``arrays`` mutate in place.
 
         Float arrays for ``float2`` parameters may be passed flat; they are
@@ -166,7 +166,8 @@ class CompiledKernel:
         args = {p.name: merged[p.name]
                 for p in self.kernel.scalar_params()}
         return run_kernel(self.kernel, self.config, bound, args,
-                          backend=backend, trace=trace, profile=profile)
+                          backend=backend, trace=trace, profile=profile,
+                          scheduler=scheduler)
 
     def profile(self, arrays: Dict[str, np.ndarray],
                 scalars: Optional[Dict[str, object]] = None,

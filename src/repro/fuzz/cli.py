@@ -18,6 +18,7 @@ from repro.fuzz.oracle import (
     ORACLE_BACKENDS,
     STAGE_NAMES,
     OracleOptions,
+    ScheduleInterrupted,
     run_case,
 )
 from repro.fuzz.reduce import reduce_case, source_lines
@@ -42,6 +43,15 @@ def _parse_stages(text: str) -> tuple:
                 f"{', '.join(STAGE_NAMES)}")
         stages.append(name)
     return tuple(stages)
+
+
+def _parse_seeds(text: str) -> tuple:
+    """A comma list of schedule seeds, e.g. '3,5,7'."""
+    try:
+        return tuple(int(tok) for tok in text.split(",") if tok.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--resume-seeds expects a comma list of integers, got {text!r}")
 
 
 def fuzz_main(argv: Optional[List[str]] = None) -> int:
@@ -76,6 +86,18 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
                              "dataflow summary and treat any concrete "
                              "access or branch outside the abstract "
                              "summary as an 'unsound' divergence")
+    parser.add_argument("--schedules", type=int, default=0, metavar="K",
+                        help="also run the reference and every stage under "
+                             "K seeded warp schedules (repro.sim.scheduled) "
+                             "and treat any disagreement with the lockstep "
+                             "run as a 'schedule' divergence carrying "
+                             "replayable seed metadata")
+    parser.add_argument("--resume-seeds", type=_parse_seeds, default=None,
+                        metavar="S1,S2,...",
+                        help="explicit schedule-seed list overriding "
+                             "range(K) — resume an interrupted --schedules "
+                             "campaign from the 'pending_schedule_seeds' of "
+                             "its partial envelope")
     parser.add_argument("--corpus-dir", default="tests/corpus",
                         help="where reduced reproducers are written "
                              "(default: tests/corpus)")
@@ -100,7 +122,9 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     opts = OracleOptions(stages=args.stages, machine=machine(args.machine),
                          backend=args.backend,
                          check_profile=args.profile,
-                         check_dataflow=args.dataflow)
+                         check_dataflow=args.dataflow,
+                         schedules=args.schedules,
+                         schedule_seeds=args.resume_seeds)
     cases_json = []
     counts = {"ok": 0, "rejected": 0, "divergent": 0}
     divergent_names = []
@@ -149,6 +173,22 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
                         print(f"  wrote reproducer to {path}")
             cases_json.append(entry)
             completed = index + 1
+        except ScheduleInterrupted as exc:
+            # Ctrl-C landed inside a --schedules campaign: flush the
+            # in-flight case with the seed split so the campaign resumes
+            # with --resume-seeds <pending>.
+            entry = exc.result.to_dict()
+            entry["interrupted_stage"] = exc.stage
+            entry["completed_schedule_seeds"] = list(exc.completed_seeds)
+            entry["pending_schedule_seeds"] = list(exc.pending_seeds)
+            cases_json.append(entry)
+            if not args.as_json:
+                pending = ",".join(str(s) for s in exc.pending_seeds)
+                print(f"interrupted during schedule campaign at stage "
+                      f"{exc.stage!r}; resume with --resume-seeds {pending}",
+                      file=sys.stderr)
+            interrupted = True
+            break
         except KeyboardInterrupt:
             interrupted = True
             break
@@ -161,6 +201,9 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
         "stages": list(args.stages),
         "backend": args.backend or "default",
         "dataflow": args.dataflow,
+        "schedules": (list(args.resume_seeds)
+                      if args.resume_seeds is not None else args.schedules),
+        "schedule_runs": sum(c.get("schedule_runs", 0) for c in cases_json),
         "ok": counts["ok"],
         "rejected": counts["rejected"],
         "divergent": counts["divergent"],

@@ -34,13 +34,24 @@ miscompile.  Kernels the vectorized backend statically refuses
 (:class:`~repro.sim.vectorized.UnsupportedKernelError`) are skipped, not
 divergent.  A plain ``backend="vectorized"`` / ``"auto"`` instead runs
 the whole oracle on that backend.
+
+With ``schedules=K`` the oracle also walks the *schedule space*: the
+reference and every stage are re-executed on the scheduled backend
+(:mod:`repro.sim.scheduled`) under K seeded warp interleavings, and any
+output or error-family disagreement with the lockstep run is a
+first-class ``schedule`` divergence carrying replay metadata (seed,
+scheduler kind, yield count, schedule trace tail) in its ``meta`` — one
+recorded seed deterministically replays the interleaving.  Verifier race
+errors are cross-wired with this backend: the oracle searches the
+schedule space for a witnessing interleaving and attaches the
+confirmation verdict to the ``verify`` divergence.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,7 +65,9 @@ from repro.lang.semantic import SemanticError, check_kernel
 from repro.machine import GTX280, GpuSpec
 from repro.passes.base import PassError
 from repro.sim.backend import default_backend, run_kernel
-from repro.sim.interp import LaunchConfig
+from repro.sim.interp import BarrierError, LaunchConfig
+from repro.sim.phases import slice_phases
+from repro.sim.scheduled import make_scheduler, schedule_plan
 from repro.sim.vectorized import UnsupportedKernelError
 
 #: ``OracleOptions.backend`` values (``both`` cross-checks the backends).
@@ -71,16 +84,42 @@ class Divergence:
 
     stage: str   # '' for failures before any stage ran
     # 'output' | 'verify' | 'roundtrip' | 'crash' | 'semantic' |
-    # 'backend' | 'profile' | 'unsound'
+    # 'backend' | 'profile' | 'unsound' | 'schedule'
     kind: str
     detail: str
+    #: Structured replay metadata (schedule divergences: seed, scheduler,
+    #: yields, schedule trace tail) — lands in the repro.fuzz/1 envelope.
+    meta: Optional[Dict[str, object]] = None
 
-    def to_dict(self) -> Dict[str, str]:
-        return {"stage": self.stage, "kind": self.kind, "detail": self.detail}
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"stage": self.stage, "kind": self.kind,
+                                  "detail": self.detail}
+        if self.meta is not None:
+            out["meta"] = dict(self.meta)
+        return out
 
     def render(self) -> str:
         where = self.stage or "<compile>"
         return f"{where}: {self.kind}: {self.detail}"
+
+
+class ScheduleInterrupted(KeyboardInterrupt):
+    """Ctrl-C landed inside a ``--schedules`` campaign.
+
+    Carries enough state for the CLI to flush a resumable partial
+    envelope: the partial :class:`CaseResult`, the stage that was being
+    checked, and which schedule seeds had / had not completed there —
+    ``python -m repro fuzz --schedules K --resume-seeds s1,s2`` replays
+    exactly the pending ones.
+    """
+
+    def __init__(self, result: "CaseResult", stage: str,
+                 completed_seeds: List[int], pending_seeds: List[int]):
+        super().__init__("schedule campaign interrupted")
+        self.result = result
+        self.stage = stage
+        self.completed_seeds = completed_seeds
+        self.pending_seeds = pending_seeds
 
 
 @dataclass(frozen=True)
@@ -106,11 +145,26 @@ class OracleOptions:
     #: first-class ``unsound`` divergence the reducer shrinks like any
     #: miscompile.
     check_dataflow: bool = False
+    #: Schedule-space oracle: run the reference and every stage under K
+    #: seeded warp schedules (``repro.sim.scheduled``) and demand bits
+    #: identical to the lockstep run — any disagreement is a first-class
+    #: ``schedule`` divergence carrying replay metadata (seed, scheduler,
+    #: yield count, schedule trace tail).
+    schedules: int = 0
+    #: Explicit schedule-seed list overriding ``range(schedules)`` — how
+    #: an interrupted campaign resumes (``fuzz --resume-seeds``).
+    schedule_seeds: Optional[Tuple[int, ...]] = None
 
     def exec_backend(self) -> str:
         """The backend the oracle's own runs use (``both`` => lockstep)."""
         name = self.backend if self.backend is not None else default_backend()
         return "lockstep" if name == "both" else name
+
+    def schedule_seed_plan(self) -> List[Tuple[int, str]]:
+        """The (seed, scheduler-kind) pairs each schedule check runs."""
+        if self.schedule_seeds is not None:
+            return schedule_plan(0, self.schedule_seeds)
+        return schedule_plan(self.schedules)
 
 
 @dataclass
@@ -123,6 +177,7 @@ class CaseResult:
     stages_checked: List[str] = field(default_factory=list)
     reject_reason: str = ""
     verifier_warnings: int = 0
+    schedule_runs: int = 0            # scheduled executions performed
 
     @property
     def ok(self) -> bool:
@@ -137,6 +192,7 @@ class CaseResult:
             "divergences": [d.to_dict() for d in self.divergences],
             "reject_reason": self.reject_reason,
             "verifier_warnings": self.verifier_warnings,
+            "schedule_runs": self.schedule_runs,
         }
 
 
@@ -258,6 +314,16 @@ def run_case(case: KernelCase,
             lambda work, b: run_kernel(naive, config, work, scalars,
                                        backend=b),
             arrays, reference, ref_exc, result)
+    if opts.schedules or opts.schedule_seeds:
+        config = reference_config(case, opts.machine)
+        scalars = {p.name: case.sizes[p.name]
+                   for p in naive.scalar_params()}
+        _check_schedules(
+            "reference",
+            lambda work, sched: run_kernel(naive, config, work, scalars,
+                                           backend="scheduled",
+                                           scheduler=sched),
+            arrays, reference, ref_exc, opts, result)
     if ref_exc is not None:
         result.status = "divergent"
         result.divergences.append(
@@ -326,6 +392,138 @@ def _cross_check_backends(stage, run_fn, arrays: Dict[str, np.ndarray],
             result.divergences.append(Divergence(
                 stage, "backend", "vectorized differs from lockstep: "
                 + mismatch))
+
+
+def _error_family(exc: Optional[BaseException]) -> str:
+    """Exception classification for cross-schedule comparison.
+
+    :class:`~repro.sim.scheduled.DeadlockError` subclasses
+    :class:`~repro.sim.interp.BarrierError` so a divergent barrier the
+    lockstep interpreter reports and the deadlock the scheduled backend
+    reports for the same program compare equal — same bug, two oracles.
+    """
+    if exc is None:
+        return "ok"
+    if isinstance(exc, BarrierError):
+        return "BarrierError"
+    return type(exc).__name__
+
+
+def _schedule_proof(ck) -> Optional[str]:
+    """The dataflow engine's schedule-invariance claim for a stage.
+
+    Returns ``'barrier-free'`` when the phase slicing finds no barriers
+    at all, ``'removable-barriers'`` when every unconditional block
+    barrier is in the engine's simultaneously-removable set (PR 6's
+    proof machinery) — stages whose invariance the schedule oracle makes
+    dynamically falsifiable — and ``None`` when no proof applies.
+    """
+    slicing = slice_phases(ck.kernel)
+    if not slicing.barriers:
+        return "barrier-free"
+    unconditional = [s for s in slicing.barriers
+                     if not s.conditional and s.stmt.scope == "block"
+                     and not s.loops]
+    if len(unconditional) != len(slicing.barriers):
+        return None
+    try:
+        from repro.analysis.dataflow import removable_barriers
+        removable = removable_barriers(ck.kernel, ck.size_bindings(),
+                                       tuple(ck.config.block),
+                                       tuple(ck.config.grid))
+    except Exception:
+        return None
+    if len(removable) == len(unconditional):
+        return "removable-barriers"
+    return None
+
+
+def _check_schedules(stage: str,
+                     run_fn: Callable[[Dict[str, np.ndarray], object], None],
+                     arrays: Dict[str, np.ndarray],
+                     lockstep_work: Optional[Dict[str, np.ndarray]],
+                     lockstep_exc: Optional[BaseException],
+                     opts: OracleOptions, result: CaseResult,
+                     proof: Optional[str] = None) -> None:
+    """Run ``run_fn`` under K seeded schedules; demand the lockstep bits.
+
+    Any disagreement — differing outputs, or a differing error family —
+    is a ``schedule`` divergence whose ``meta`` (seed, scheduler, yield
+    count, schedule trace tail) replays it deterministically.  When the
+    dataflow engine claimed the stage schedule-invariant (``proof``),
+    a divergence additionally marks that proof falsified.
+
+    Ctrl-C inside the loop raises :class:`ScheduleInterrupted` with the
+    completed/pending seed split so the campaign is resumable.
+    """
+    plan = opts.schedule_seed_plan()
+    lock_family = _error_family(lockstep_exc)
+    completed: List[int] = []
+    for seed, kind in plan:
+        sched = make_scheduler(kind, seed)
+        work = {k: v.copy() for k, v in arrays.items()}
+        try:
+            run_fn(work, sched)
+            sched_exc: Optional[BaseException] = None
+        except KeyboardInterrupt:
+            pending = [s for s, _ in plan if s not in completed]
+            raise ScheduleInterrupted(result, stage, completed, pending)
+        except Exception as exc:
+            sched_exc = exc
+        result.schedule_runs += 1
+        completed.append(seed)
+        meta: Dict[str, object] = {"seed": seed, "scheduler": kind}
+        if sched.last_result is not None:
+            meta["yields"] = sched.last_result.yields
+            meta["trace_tail"] = list(sched.last_result.trace_tail)
+        if proof is not None:
+            meta["dataflow_proof"] = proof
+        prefix = (f"falsifies dataflow {proof} proof: " if proof else "")
+        family = _error_family(sched_exc)
+        if family != lock_family:
+            result.divergences.append(Divergence(
+                stage, "schedule",
+                f"{prefix}scheduler {kind!r} seed {seed}: lockstep "
+                f"{lock_family} ({lockstep_exc}) vs scheduled {family} "
+                f"({sched_exc})".replace("(None)", ""), meta))
+            continue
+        if sched_exc is None and lockstep_work is not None:
+            mismatch = _first_mismatch(work, lockstep_work)
+            if mismatch:
+                result.divergences.append(Divergence(
+                    stage, "schedule",
+                    f"{prefix}scheduler {kind!r} seed {seed} diverges "
+                    f"from lockstep: {mismatch}", meta))
+
+
+def _confirm_verify_races(stage: str, ck, arrays: Dict[str, np.ndarray],
+                          race_divs: List[Divergence],
+                          opts: OracleOptions,
+                          result: CaseResult) -> None:
+    """Cross-wire verifier race errors with the schedule oracle: search
+    the schedule space for a witnessing interleaving and attach the
+    confirmation (or refutation-up-to-budget) to each race divergence."""
+    from repro.analysis.confirm import confirm_race
+    try:
+        witness = confirm_race(
+            ck.kernel, ck.size_bindings(), tuple(ck.config.block),
+            tuple(ck.config.grid), arrays=arrays,
+            schedules=max(opts.schedules, 4),
+            seeds=opts.schedule_seeds)
+    except Exception:
+        return
+    confirmation: Dict[str, object]
+    if witness is None:
+        confirmation = {"confirmed": False,
+                        "schedules_searched": max(opts.schedules, 4)}
+    else:
+        confirmation = {"confirmed": True}
+        confirmation.update(witness.to_dict())
+    for i, div in enumerate(result.divergences):
+        if div in race_divs:
+            meta = dict(div.meta or {})
+            meta["race_confirmation"] = confirmation
+            result.divergences[i] = replace(div, meta=meta)
 
 
 def _cross_check_profiles(stage: str, ck, arrays: Dict[str, np.ndarray],
@@ -451,6 +649,15 @@ def _check_stage(stage: str, ck, arrays: Dict[str, np.ndarray],
     if mismatch:
         result.divergences.append(Divergence(stage, "output", mismatch))
 
+    # 1d. schedule-space: outputs must not depend on warp interleaving.
+    #     Stages the dataflow engine proved barrier-free (or all-barriers-
+    #     removable) carry that proof into any divergence — PR 6's proofs
+    #     become dynamically falsifiable here.
+    if opts.schedules or opts.schedule_seeds:
+        _check_schedules(
+            stage, lambda w, s: ck.run(w, backend="scheduled", scheduler=s),
+            arrays, work, None, opts, result, proof=_schedule_proof(ck))
+
     # 1b. dynamic counters agree bit-for-bit across backends.
     if opts.check_profile:
         _cross_check_profiles(stage, ck, arrays, result)
@@ -469,9 +676,17 @@ def _check_stage(stage: str, ck, arrays: Dict[str, np.ndarray],
                 Divergence(stage, "crash", "verifier: " + _describe(exc)))
         else:
             result.verifier_warnings += len(report.warnings)
+            race_divs: List[Divergence] = []
             for diag in report.errors:
-                result.divergences.append(
-                    Divergence(stage, "verify", diag.render()))
+                div = Divergence(stage, "verify", diag.render())
+                result.divergences.append(div)
+                if diag.analysis == "races":
+                    race_divs.append(div)
+            # Cross-wire: hunt the schedule space for an interleaving
+            # witnessing each statically-reported race.
+            if race_divs and (opts.schedules or opts.schedule_seeds):
+                _confirm_verify_races(stage, ck, arrays, race_divs, opts,
+                                      result)
 
     # 3. printer round-trip: printed source re-parses, re-checks, and
     #    re-interprets to this stage's own outputs.

@@ -31,7 +31,7 @@ TRACE_SCHEMA = "repro.trace/1"
 
 #: Event kinds, in the order a reader will meet them.
 EVENT_KINDS = ("span_start", "span_end", "decision", "warning", "rollback",
-               "proof")
+               "proof", "schedule")
 
 
 def snippet(node, max_chars: int = 72) -> str:
@@ -197,6 +197,22 @@ class Tracer:
         return self._record("proof", message, rule=rule,
                             pass_name=pass_name, stmt=stmt, before=before,
                             after=after, details=details)
+
+    def schedule(self, message: str, *, seed: int, scheduler: str,
+                 rule: str = "schedule.run", stmt=None,
+                 details: Optional[Dict[str, object]] = None) -> TraceEvent:
+        """Record one schedule-space execution (``repro.sim.scheduled``).
+
+        Emitted by :func:`repro.analysis.confirm.confirm_race` and the
+        fuzz schedule oracle so a trace shows which interleavings were
+        searched; ``details`` carries the replay metadata (yield count,
+        schedule trace tail, verdict) keyed by the (seed, scheduler)
+        pair that reproduces the run.
+        """
+        merged: Dict[str, object] = {"seed": seed, "scheduler": scheduler}
+        merged.update(details or {})
+        return self._record("schedule", message, rule=rule, pass_name=None,
+                            stmt=stmt, details=merged)
 
     def _record(self, kind: str, message: str, *, rule: str,
                 pass_name: Optional[str], stmt, before: str = "",

@@ -12,6 +12,12 @@ semantics on the vectorizable kernel class:
     the launch evaluated at once as NumPy lane arrays (10-100x faster on
     the paper's kernel suite).  Statically refuses conditional barriers
     and thread-dependent barrier loops.
+``scheduled``
+    :class:`repro.sim.scheduled.ScheduledInterpreter` — warps run as
+    coroutines yielding at sequence points under a pluggable scheduler
+    (pass one via ``scheduler=``; default seeded-random).  The
+    schedule-space race-testing backend: never chosen by ``auto``, used
+    by ``fuzz --schedules`` and :func:`repro.analysis.confirm_race`.
 ``auto``
     Vectorized when the kernel's static classification allows it, with a
     silent fallback to lockstep otherwise (and whenever a trace hook is
@@ -43,7 +49,7 @@ __all__ = [
 ]
 
 #: Recognized values for ``backend=`` parameters and ``REPRO_SIM_BACKEND``.
-BACKENDS = ("lockstep", "vectorized", "auto")
+BACKENDS = ("lockstep", "vectorized", "auto", "scheduled")
 
 _ENV_VAR = "REPRO_SIM_BACKEND"
 _default = os.environ.get(_ENV_VAR, "lockstep")
@@ -77,17 +83,30 @@ def run_kernel(kernel: Kernel, config: LaunchConfig,
                scalars: Optional[Dict[str, object]] = None, *,
                backend: Optional[str] = None,
                trace: Optional[TraceHook] = None,
-               profile=None) -> str:
+               profile=None, scheduler=None) -> str:
     """Execute one kernel launch; ``arrays`` are mutated in place.
 
     ``profile`` accepts a :class:`repro.obs.profile.ProfileCollector`;
-    unlike ``trace`` it is supported by *both* backends (the dynamic
-    counters are defined to be backend-independent, and the profiler
-    test suite holds them bit-identical).  Returns the name of the
-    backend that actually ran (``auto`` resolves to ``vectorized`` or
-    ``lockstep``), so callers can report fallbacks.
+    unlike ``trace`` it is supported by *both* the lockstep and
+    vectorized backends (the dynamic counters are defined to be
+    backend-independent, and the profiler test suite holds them
+    bit-identical).  ``scheduler`` (a
+    :class:`repro.sim.scheduled.Scheduler`) selects the interleaving of
+    the ``scheduled`` backend; after the run its ``last_result`` holds
+    the replay metadata.  Returns the name of the backend that actually
+    ran (``auto`` resolves to ``vectorized`` or ``lockstep``), so
+    callers can report fallbacks.
     """
     name = normalize_backend(backend)
+    if name == "scheduled":
+        from repro.sim.scheduled import ScheduledInterpreter
+        if trace is not None or profile is not None:
+            raise UnsupportedKernelError(
+                kernel.name, ["trace/profile hooks require the lockstep "
+                              "or vectorized backend"])
+        ScheduledInterpreter(kernel).run(config, arrays, scalars,
+                                         scheduler=scheduler)
+        return "scheduled"
     if trace is not None and name != "vectorized":
         # Tracing observes per-thread access order, which only the
         # lockstep interpreter models.

@@ -1,0 +1,789 @@
+"""Scheduler-controlled interleaving backend: schedule-space race testing.
+
+The lockstep interpreter (:mod:`repro.sim.interp`) and the vectorized
+backend (:mod:`repro.sim.vectorized`) each realize exactly **one**
+interleaving of a kernel's threads, so a miscompile that only manifests
+under warp reordering — a missing barrier, a WAR hazard over a shared
+tile, a divergent-guard double write — is invisible to every oracle
+built on them.  This backend executes the same kernel under an
+*adversarial* warp schedule:
+
+* every thread is a Python generator that yields at **sequence points**
+  — immediately before each shared-memory read or write, at every
+  barrier arrival, and at every loop back-edge;
+* threads are grouped into **warps** of :data:`WARP_THREADS` consecutive
+  launch-linear threads of a block.  A warp is the unit of scheduling:
+  one scheduler quantum advances each runnable thread of the picked warp
+  by exactly one sequence point, in thread order (warp-synchronous SIMT
+  stepping — intra-warp order is fixed, as on pre-Volta hardware; races
+  strictly inside one warp are the static verifier's job);
+* a pluggable :class:`Scheduler` picks which runnable warp advances
+  next: :class:`RoundRobinScheduler` (fair), :class:`RandomScheduler`
+  (seeded uniform), and :class:`ChaosScheduler` (priority-based — it
+  starves one warp at a time, rotating the victim, which surfaces
+  hazards that need one warp to fall far behind);
+* barrier rendezvous is explicit bookkeeping: a ``__syncthreads`` warp
+  blocks until **every** thread of its block is waiting at ``block``
+  scope, a ``__global_sync`` until every thread of the grid is waiting
+  at ``global`` scope.  A rendezvous that can never complete — a thread
+  exited before the barrier, mixed scopes, a conditionally-skipped
+  barrier — is a **deadlock**, reported by :class:`DeadlockError` with
+  per-warp stack context (which barrier, under which guards, inside
+  which loops, who already finished).
+
+:class:`DeadlockError` subclasses :class:`~repro.sim.interp.BarrierError`
+deliberately: the lockstep interpreter reports the same programs as
+divergent barriers, so differential oracles can compare error *families*
+across backends.  Barrier identity follows the lockstep semantics —
+threads rendezvous by scope (arrival count), not by which syntactic
+barrier they reached.
+
+Determinism: for a fixed kernel, launch, inputs, scheduler kind, and
+seed, the schedule trace and the outputs are bit-identical across runs
+(pinned by ``tests/test_scheduled.py``), so every divergence the fuzz
+oracle finds replays from its ``(scheduler, seed)`` metadata alone.
+
+The lockstep backend realizes one point of this schedule lattice (all
+warps of a block run to the barrier in thread order); see DESIGN.md 5.7
+for the mapping of sequence points onto the paper's Section 4 barrier
+semantics.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lang.astnodes import (
+    ArrayRef,
+    AssignStmt,
+    Binary,
+    Block,
+    Call,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    ForStmt,
+    Ident,
+    IfStmt,
+    IntLit,
+    Kernel,
+    Member,
+    ReturnStmt,
+    Stmt,
+    SyncStmt,
+    Ternary,
+    Unary,
+    WhileStmt,
+)
+from repro.lang.builtins import BUILTIN_FUNCTIONS
+from repro.sim.interp import (
+    _MAX_STEPS_DEFAULT,
+    BarrierError,
+    KernelRuntimeError,
+    LaunchConfig,
+    _LocalArrayShim,
+)
+from repro.sim.memory import GlobalMemory, SharedMemory
+from repro.sim.phases import BarrierSite, slice_phases
+from repro.sim.values import Float2, Float4, c_div, c_mod, default_value
+
+__all__ = [
+    "SCHEDULER_KINDS",
+    "WARP_THREADS",
+    "ChaosScheduler",
+    "DeadlockError",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "ScheduleResult",
+    "ScheduledInterpreter",
+    "Scheduler",
+    "make_scheduler",
+    "run_scheduled",
+    "schedule_plan",
+    "scheduler_kind_for_seed",
+]
+
+#: Threads per scheduling warp — the half-warp of the repo's segment and
+#: bank models (DESIGN.md 5.3); consecutive launch-linear block threads.
+WARP_THREADS = 16
+
+#: Length of the schedule trace tail kept for replay diagnostics.
+TRACE_TAIL = 32
+
+#: Recognized scheduler kinds for :func:`make_scheduler`.
+SCHEDULER_KINDS = ("rr", "random", "chaos")
+
+
+class DeadlockError(BarrierError):
+    """A warp waits at a barrier no runnable warp can ever reach.
+
+    ``stuck`` carries structured per-warp context: for every warp with a
+    blocked thread, which barrier it waits at (scope, printed guards and
+    loops from the phase slicing) and which threads of its block exited
+    without arriving.
+    """
+
+    def __init__(self, message: str, stuck: List[Dict[str, object]]):
+        super().__init__(message)
+        self.stuck = stuck
+
+
+# ---------------------------------------------------------------------------
+# Schedulers
+# ---------------------------------------------------------------------------
+
+class Scheduler:
+    """Picks which runnable warp advances at each sequence point."""
+
+    kind = "base"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        #: Filled by the interpreter after a run completes.
+        self.last_result: Optional[ScheduleResult] = None
+
+    def attach(self, n_warps: int) -> None:
+        """Called once before the run with the total warp count."""
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        """Return one warp id from ``runnable`` (sorted, non-empty)."""
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Fair rotation over runnable warps — the most lockstep-like point
+    of the schedule space (bit-identical to lockstep on race-free
+    kernels, pinned by the property tests)."""
+
+    kind = "rr"
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed)
+        self._last = -1
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        for wid in runnable:
+            if wid > self._last:
+                self._last = wid
+                return wid
+        self._last = runnable[0]
+        return runnable[0]
+
+
+class RandomScheduler(Scheduler):
+    """Seeded uniform choice among runnable warps."""
+
+    kind = "random"
+
+    def __init__(self, seed: int = 0):
+        super().__init__(seed)
+        self._rng = random.Random(seed)
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        return runnable[self._rng.randrange(len(runnable))]
+
+
+class ChaosScheduler(Scheduler):
+    """Priority scheduler that starves one warp at a time.
+
+    The starved warp rotates every ``quantum`` picks; while starved, a
+    warp only runs when it is the sole runnable one (e.g. everyone else
+    is blocked at a barrier it has not reached).  This drives the
+    maximum drift between warps the barrier structure allows, which is
+    exactly where missing-barrier and WAR hazards bite.
+    """
+
+    kind = "chaos"
+
+    def __init__(self, seed: int = 0, quantum: int = 24):
+        super().__init__(seed)
+        self._rng = random.Random(seed)
+        self._quantum = max(1, quantum)
+        self._n_warps = 1
+
+    def attach(self, n_warps: int) -> None:
+        self._n_warps = max(1, n_warps)
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        starved = (step // self._quantum) % self._n_warps
+        candidates = [w for w in runnable if w != starved]
+        if not candidates:
+            return runnable[0]
+        return candidates[self._rng.randrange(len(candidates))]
+
+
+def make_scheduler(kind: str, seed: int = 0) -> Scheduler:
+    """Instantiate a scheduler by kind name (see :data:`SCHEDULER_KINDS`)."""
+    if kind == "rr":
+        return RoundRobinScheduler(seed)
+    if kind == "random":
+        return RandomScheduler(seed)
+    if kind == "chaos":
+        return ChaosScheduler(seed)
+    raise ValueError(f"unknown scheduler kind {kind!r}; expected one of "
+                     f"{', '.join(SCHEDULER_KINDS)}")
+
+
+def scheduler_kind_for_seed(seed: int) -> str:
+    """The deterministic seed -> scheduler-kind mapping the fuzz oracle
+    uses, so a recorded seed alone replays the exact schedule (random
+    and chaos lead — they are the finders; rr is the fairness control).
+    """
+    return ("random", "chaos", "rr")[seed % 3]
+
+
+def schedule_plan(schedules: int,
+                  seeds: Optional[Sequence[int]] = None
+                  ) -> List[Tuple[int, str]]:
+    """The (seed, scheduler-kind) list a K-schedule campaign runs.
+
+    ``seeds`` overrides the default ``range(schedules)`` — this is how an
+    interrupted campaign resumes from its recorded in-flight seeds.
+    """
+    chosen = list(seeds) if seeds is not None else list(range(schedules))
+    return [(s, scheduler_kind_for_seed(s)) for s in chosen]
+
+
+# ---------------------------------------------------------------------------
+# Run metadata
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScheduleResult:
+    """Metadata of one scheduled run (enough to replay it)."""
+
+    scheduler: str
+    seed: int
+    yields: int                     # scheduler quanta consumed
+    n_warps: int
+    trace_tail: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "yields": self.yields,
+            "n_warps": self.n_warps,
+            "trace_tail": list(self.trace_tail),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Execution state
+# ---------------------------------------------------------------------------
+
+class _SThread:
+    """One simulated thread: its generator plus rendezvous state."""
+
+    __slots__ = ("gen", "env", "block", "thread", "shared", "local_arrays",
+                 "finished", "waiting", "wait_stmt")
+
+    def __init__(self, env: Dict[str, object], block: Tuple[int, int],
+                 thread: Tuple[int, int], shared: SharedMemory):
+        self.env = env
+        self.block = block
+        self.thread = thread
+        self.shared = shared
+        self.local_arrays: Dict[str, np.ndarray] = {}
+        self.gen = None
+        self.finished = False
+        self.waiting: Optional[str] = None    # 'block' | 'global' when blocked
+        self.wait_stmt: Optional[SyncStmt] = None
+
+    @property
+    def runnable(self) -> bool:
+        return not self.finished and self.waiting is None
+
+
+class _Warp:
+    """A scheduling unit: WARP_THREADS consecutive threads of one block."""
+
+    __slots__ = ("wid", "block", "threads")
+
+    def __init__(self, wid: int, block: Tuple[int, int],
+                 threads: List[_SThread]):
+        self.wid = wid
+        self.block = block
+        self.threads = threads
+
+    @property
+    def runnable(self) -> bool:
+        return any(t.runnable for t in self.threads)
+
+    def step(self) -> None:
+        """Advance each runnable thread by one sequence point, in thread
+        order (warp-synchronous stepping)."""
+        for t in self.threads:
+            if not t.runnable:
+                continue
+            try:
+                event = next(t.gen)
+            except StopIteration:
+                t.finished = True
+                continue
+            if event[0] == "sync":
+                t.waiting = event[1]
+                t.wait_stmt = event[2]
+            # 'mem' / 'edge' events are pure preemption points.
+
+
+# ---------------------------------------------------------------------------
+# The interpreter
+# ---------------------------------------------------------------------------
+
+class ScheduledInterpreter:
+    """Executes one kernel launch under a controlled warp schedule.
+
+    Semantics mirror :class:`repro.sim.interp.Interpreter` statement for
+    statement (same C truncation rules, same bounds checks, same fault
+    messages) — only the *interleaving* differs, which is the point: on
+    a race-free kernel every schedule must produce the lockstep bits.
+    """
+
+    def __init__(self, kernel: Kernel, max_steps: int = _MAX_STEPS_DEFAULT,
+                 warp_size: int = WARP_THREADS):
+        self._kernel = kernel
+        self._max_steps = max_steps
+        self._warp_size = max(1, warp_size)
+        self._steps = 0
+        # Barrier context for deadlock reports (phases reuse: the same
+        # slicing the race detector and vectorized backend consume).
+        self._sites: Dict[int, BarrierSite] = {
+            id(site.stmt): site for site in slice_phases(kernel).barriers}
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, config: LaunchConfig, arrays: Dict[str, np.ndarray],
+            scalars: Optional[Dict[str, object]] = None,
+            scheduler: Optional[Scheduler] = None,
+            max_yields: Optional[int] = None) -> ScheduleResult:
+        """Execute the kernel under ``scheduler``; arrays mutate in place."""
+        sched = scheduler if scheduler is not None else RandomScheduler(0)
+        scalars = dict(scalars or {})
+        gmem = GlobalMemory()
+        for p in self._kernel.array_params():
+            if p.name not in arrays:
+                raise KeyError(f"missing array argument {p.name!r}")
+            gmem.bind(p.name, arrays[p.name], p.type.lanes)
+        for p in self._kernel.scalar_params():
+            if p.name not in scalars:
+                raise KeyError(f"missing scalar argument {p.name!r}")
+
+        self._steps = 0
+        gx, gy = config.grid
+        bx, by = config.block
+        blocks: Dict[Tuple[int, int], List[_SThread]] = {}
+        warps: List[_Warp] = []
+        for bidy in range(gy):
+            for bidx in range(gx):
+                shared = SharedMemory()
+                members: List[_SThread] = []
+                for tidy in range(by):
+                    for tidx in range(bx):
+                        env = dict(scalars)
+                        env.update({
+                            "tidx": tidx, "tidy": tidy,
+                            "bidx": bidx, "bidy": bidy,
+                            "bdimx": bx, "bdimy": by,
+                            "gdimx": gx, "gdimy": gy,
+                            "idx": bidx * bx + tidx,
+                            "idy": bidy * by + tidy,
+                        })
+                        t = _SThread(env, (bidx, bidy), (tidx, tidy), shared)
+                        t.gen = self._exec_stmts(self._kernel.body, t, gmem)
+                        members.append(t)
+                blocks[(bidx, bidy)] = members
+                for lo in range(0, len(members), self._warp_size):
+                    warps.append(_Warp(len(warps), (bidx, bidy),
+                                       members[lo:lo + self._warp_size]))
+
+        all_threads = [t for members in blocks.values() for t in members]
+        sched.attach(len(warps))
+        by_id = {w.wid: w for w in warps}
+        tail: deque = deque(maxlen=TRACE_TAIL)
+        yields = 0
+        cap = max_yields if max_yields is not None else self._max_steps
+        while True:
+            self._release_barriers(blocks, all_threads)
+            runnable = sorted(w.wid for w in warps if w.runnable)
+            if not runnable:
+                if all(t.finished for t in all_threads):
+                    break
+                raise self._deadlock(warps, blocks)
+            wid = sched.pick(runnable, yields)
+            if wid not in by_id or not by_id[wid].runnable:
+                raise KernelRuntimeError(
+                    f"scheduler {sched.kind!r} picked non-runnable warp "
+                    f"{wid} (runnable: {runnable})")
+            by_id[wid].step()
+            tail.append(wid)
+            yields += 1
+            if yields > cap:
+                raise KernelRuntimeError(
+                    f"schedule exceeded {cap} quanta (runaway schedule?)")
+        result = ScheduleResult(scheduler=sched.kind, seed=sched.seed,
+                                yields=yields, n_warps=len(warps),
+                                trace_tail=list(tail))
+        sched.last_result = result
+        return result
+
+    # -- barrier rendezvous --------------------------------------------------
+
+    def _release_barriers(self, blocks: Dict[Tuple[int, int],
+                                             List[_SThread]],
+                          all_threads: List[_SThread]) -> None:
+        """Complete every rendezvous whose arrival set is full.
+
+        A ``block`` barrier releases when *every* thread of the block is
+        waiting at ``block`` scope; a ``global`` barrier when every
+        thread of the grid is waiting at ``global`` scope.  A finished
+        thread is never waiting, so a thread that exited before a
+        barrier pins its block un-releasable — the deadlock detector
+        reports it, matching the lockstep interpreter's BarrierError for
+        the same program.
+        """
+        for members in blocks.values():
+            if members and all(t.waiting == "block" for t in members):
+                for t in members:
+                    t.waiting = None
+                    t.wait_stmt = None
+        if all_threads and all(t.waiting == "global" for t in all_threads):
+            for t in all_threads:
+                t.waiting = None
+                t.wait_stmt = None
+
+    def _deadlock(self, warps: List[_Warp],
+                  blocks: Dict[Tuple[int, int],
+                               List[_SThread]]) -> DeadlockError:
+        """Build the per-warp stack-context report for a stuck schedule."""
+        from repro.obs.trace import snippet
+        stuck: List[Dict[str, object]] = []
+        lines: List[str] = []
+        n_waiting = 0
+        for warp in warps:
+            waiting = [t for t in warp.threads if t.waiting is not None]
+            if not waiting:
+                continue
+            n_waiting += len(waiting)
+            t0 = waiting[0]
+            site = self._sites.get(id(t0.wait_stmt))
+            context = ""
+            if site is not None and site.guards:
+                from repro.lang.printer import print_expr
+                context += " under " + " && ".join(
+                    f"({print_expr(g)})" for g in site.guards)
+            if site is not None and site.loops:
+                context += f" inside {len(site.loops)} loop(s)"
+            barrier = snippet(t0.wait_stmt) or "__syncthreads()"
+            finished = [t.thread for t in blocks[warp.block] if t.finished]
+            entry = {
+                "warp": warp.wid,
+                "block": list(warp.block),
+                "threads": [list(t.thread) for t in waiting],
+                "scope": t0.waiting,
+                "barrier": barrier,
+                "context": context.strip(),
+                "finished_in_block": [list(th) for th in finished[:4]],
+            }
+            stuck.append(entry)
+            who = ", ".join(str(t.thread) for t in waiting[:4])
+            more = f" (+{len(waiting) - 4} more)" if len(waiting) > 4 else ""
+            line = (f"block {warp.block} warp {warp.wid}: thread(s) {who}"
+                    f"{more} waiting at {barrier}{context}")
+            if finished:
+                line += (f"; {len(finished)} thread(s) of the block exited "
+                         f"without arriving")
+            lines.append(line)
+        detail = "\n  ".join(lines)
+        return DeadlockError(
+            f"schedule deadlock: {n_waiting} thread(s) wait at a barrier "
+            f"no runnable warp can reach\n  {detail}", stuck)
+
+    # -- statements (generators yielding at sequence points) -----------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self._max_steps:
+            raise KernelRuntimeError(
+                f"kernel exceeded {self._max_steps} simulated statements")
+
+    def _exec_stmts(self, stmts: Sequence[Stmt], ctx: _SThread,
+                    gmem: GlobalMemory) -> Iterator:
+        for stmt in stmts:
+            yield from self._exec_stmt(stmt, ctx, gmem)
+
+    def _exec_stmt(self, stmt: Stmt, ctx: _SThread,
+                   gmem: GlobalMemory) -> Iterator:
+        self._tick()
+        if isinstance(stmt, DeclStmt):
+            yield from self._exec_decl(stmt, ctx, gmem)
+        elif isinstance(stmt, AssignStmt):
+            yield from self._exec_assign(stmt, ctx, gmem)
+        elif isinstance(stmt, ExprStmt):
+            yield from self._eval(stmt.expr, ctx, gmem)
+        elif isinstance(stmt, SyncStmt):
+            yield ("sync", stmt.scope, stmt)
+        elif isinstance(stmt, IfStmt):
+            cond = yield from self._eval(stmt.cond, ctx, gmem)
+            if self._truthy(cond):
+                yield from self._exec_stmts(stmt.then_body, ctx, gmem)
+            else:
+                yield from self._exec_stmts(stmt.else_body, ctx, gmem)
+        elif isinstance(stmt, ForStmt):
+            if stmt.init is not None:
+                yield from self._exec_stmt(stmt.init, ctx, gmem)
+            while True:
+                if stmt.cond is not None:
+                    cond = yield from self._eval(stmt.cond, ctx, gmem)
+                    if not self._truthy(cond):
+                        break
+                yield from self._exec_stmts(stmt.body, ctx, gmem)
+                if stmt.update is not None:
+                    yield from self._exec_stmt(stmt.update, ctx, gmem)
+                self._tick()
+                yield ("edge",)
+        elif isinstance(stmt, WhileStmt):
+            while True:
+                cond = yield from self._eval(stmt.cond, ctx, gmem)
+                if not self._truthy(cond):
+                    break
+                yield from self._exec_stmts(stmt.body, ctx, gmem)
+                self._tick()
+                yield ("edge",)
+        elif isinstance(stmt, Block):
+            yield from self._exec_stmts(stmt.body, ctx, gmem)
+        elif isinstance(stmt, ReturnStmt):
+            return
+        else:
+            raise KernelRuntimeError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_decl(self, stmt: DeclStmt, ctx: _SThread,
+                   gmem: GlobalMemory) -> Iterator:
+        if stmt.is_array:
+            dims = []
+            for d in stmt.dims:
+                if isinstance(d, int):
+                    dims.append(d)
+                else:
+                    dims.append(int(ctx.env[d]))
+            if stmt.shared:
+                if not ctx.shared.has(stmt.name):
+                    ctx.shared.allocate(stmt.name, dims, stmt.type.name)
+            else:
+                lanes = stmt.type.lanes
+                shape = tuple(dims) + ((lanes,) if lanes > 1 else ())
+                dtype = np.int32 if stmt.type.name == "int" else np.float32
+                ctx.local_arrays[stmt.name] = np.zeros(shape, dtype=dtype)
+            return
+        if stmt.init is not None:
+            value = yield from self._eval(stmt.init, ctx, gmem)
+        else:
+            value = default_value(stmt.type.name)
+        if stmt.type.name == "int":
+            value = int(value)
+        elif stmt.type.name == "float":
+            value = float(value)
+        ctx.env[stmt.name] = value
+
+    def _exec_assign(self, stmt: AssignStmt, ctx: _SThread,
+                     gmem: GlobalMemory) -> Iterator:
+        value = yield from self._eval(stmt.value, ctx, gmem)
+        if stmt.op != "=":
+            current = yield from self._eval(stmt.target, ctx, gmem)
+            op = stmt.op[0]
+            if op == "+":
+                value = current + value
+            elif op == "-":
+                value = current - value
+            elif op == "*":
+                value = current * value
+            elif op == "/":
+                value = c_div(current, value)
+        yield from self._store(stmt.target, value, ctx, gmem)
+
+    # -- lvalues -------------------------------------------------------------
+
+    def _store(self, target: Expr, value, ctx: _SThread,
+               gmem: GlobalMemory) -> Iterator:
+        if isinstance(target, Ident):
+            if target.name not in ctx.env:
+                raise KernelRuntimeError(
+                    f"store to undeclared variable {target.name!r}")
+            old = ctx.env[target.name]
+            if isinstance(old, int) and not isinstance(value,
+                                                       (Float2, Float4)):
+                value = int(value)
+            ctx.env[target.name] = value
+            return
+        if isinstance(target, ArrayRef):
+            store, name, indices = yield from self._resolve_array(
+                target, ctx, gmem)
+            if store.space == "shared":
+                yield ("mem", name, True)
+            store.store(name, indices, value)
+            return
+        if isinstance(target, Member):
+            base = target.base
+            if isinstance(base, Ident):
+                vec = ctx.env.get(base.name)
+                if not isinstance(vec, (Float2, Float4)):
+                    raise KernelRuntimeError(
+                        f"member store to non-vector {base.name!r}")
+                setattr(vec, target.member, float(value))
+                return
+            if isinstance(base, ArrayRef):
+                store, name, indices = yield from self._resolve_array(
+                    base, ctx, gmem)
+                if store.space == "shared":
+                    yield ("mem", name, True)
+                store.store_member(name, indices, target.member,
+                                   float(value))
+                return
+        raise KernelRuntimeError(f"invalid store target {target!r}")
+
+    def _resolve_array(self, ref: ArrayRef, ctx: _SThread,
+                       gmem: GlobalMemory) -> Iterator:
+        name = ref.base.name
+        indices = []
+        for i in ref.indices:
+            value = yield from self._eval(i, ctx, gmem)
+            indices.append(int(value))
+        indices = tuple(indices)
+        if name in ctx.local_arrays:
+            return _LocalArrayShim(ctx.local_arrays), name, indices
+        if ctx.shared.has(name):
+            return ctx.shared, name, indices
+        if gmem.has(name):
+            return gmem, name, indices
+        raise KernelRuntimeError(f"reference to unknown array {name!r}")
+
+    # -- expressions ---------------------------------------------------------
+
+    def _eval(self, expr: Expr, ctx: _SThread, gmem: GlobalMemory) -> Iterator:
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, FloatLit):
+            return expr.value
+        if isinstance(expr, Ident):
+            try:
+                return ctx.env[expr.name]
+            except KeyError:
+                raise KernelRuntimeError(
+                    f"use of undefined variable {expr.name!r}") from None
+        if isinstance(expr, ArrayRef):
+            store, name, indices = yield from self._resolve_array(
+                expr, ctx, gmem)
+            if getattr(store, "space", None) == "shared":
+                yield ("mem", name, False)
+            return store.load(name, indices)
+        if isinstance(expr, Member):
+            base = yield from self._eval(expr.base, ctx, gmem)
+            if isinstance(base, (Float2, Float4)):
+                return getattr(base, expr.member)
+            raise KernelRuntimeError(
+                f"member .{expr.member} of non-vector value")
+        if isinstance(expr, Unary):
+            val = yield from self._eval(expr.operand, ctx, gmem)
+            if expr.op == "-":
+                return -val
+            if expr.op == "+":
+                return val
+            if expr.op == "!":
+                return 0 if self._truthy(val) else 1
+        if isinstance(expr, Binary):
+            return (yield from self._eval_binary(expr, ctx, gmem))
+        if isinstance(expr, Ternary):
+            cond = yield from self._eval(expr.cond, ctx, gmem)
+            if self._truthy(cond):
+                return (yield from self._eval(expr.then, ctx, gmem))
+            return (yield from self._eval(expr.otherwise, ctx, gmem))
+        if isinstance(expr, Call):
+            return (yield from self._eval_call(expr, ctx, gmem))
+        raise KernelRuntimeError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_binary(self, expr: Binary, ctx: _SThread,
+                     gmem: GlobalMemory) -> Iterator:
+        op = expr.op
+        if op == "&&":
+            left = yield from self._eval(expr.left, ctx, gmem)
+            if not self._truthy(left):
+                return 0
+            right = yield from self._eval(expr.right, ctx, gmem)
+            return 1 if self._truthy(right) else 0
+        if op == "||":
+            left = yield from self._eval(expr.left, ctx, gmem)
+            if self._truthy(left):
+                return 1
+            right = yield from self._eval(expr.right, ctx, gmem)
+            return 1 if self._truthy(right) else 0
+        left = yield from self._eval(expr.left, ctx, gmem)
+        right = yield from self._eval(expr.right, ctx, gmem)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return c_div(left, right)
+        if op == "%":
+            return c_mod(left, right)
+        if op == "<":
+            return 1 if left < right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "&":
+            return int(left) & int(right)
+        if op == "|":
+            return int(left) | int(right)
+        if op == "^":
+            return int(left) ^ int(right)
+        if op == "<<":
+            return int(left) << int(right)
+        if op == ">>":
+            return int(left) >> int(right)
+        raise KernelRuntimeError(f"unknown operator {op!r}")
+
+    def _eval_call(self, expr: Call, ctx: _SThread,
+                   gmem: GlobalMemory) -> Iterator:
+        args = []
+        for a in expr.args:
+            value = yield from self._eval(a, ctx, gmem)
+            args.append(value)
+        if expr.name == "make_float2":
+            return Float2(float(args[0]), float(args[1]))
+        if expr.name == "make_float4":
+            return Float4(*(float(a) for a in args))
+        fn = BUILTIN_FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise KernelRuntimeError(f"unknown function {expr.name!r}")
+        return fn(*args)
+
+    @staticmethod
+    def _truthy(value) -> bool:
+        return bool(value)
+
+
+def run_scheduled(kernel: Kernel, config: LaunchConfig,
+                  arrays: Dict[str, np.ndarray],
+                  scalars: Optional[Dict[str, object]] = None,
+                  scheduler: Optional[Scheduler] = None,
+                  max_yields: Optional[int] = None) -> ScheduleResult:
+    """Convenience wrapper: one scheduled launch; arrays mutate in place."""
+    return ScheduledInterpreter(kernel).run(config, arrays, scalars,
+                                            scheduler=scheduler,
+                                            max_yields=max_yields)

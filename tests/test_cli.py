@@ -179,3 +179,55 @@ class TestFuzzCli:
         assert code == 1
         assert "DIVERGENCE" in out
         assert list(tmp_path.glob("*.json"))
+
+    def test_fuzz_schedules_json(self, capsys):
+        import json
+        code, out = run_cli(capsys, "fuzz", "--seed", "0", "--count", "2",
+                            "--schedules", "2", "--no-write", "--json")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["summary"]["schedules"] == 2
+        assert doc["summary"]["schedule_runs"] > 0
+        for entry in doc["cases"]:
+            if entry["status"] == "ok":
+                assert entry["schedule_runs"] > 0
+
+    def test_fuzz_resume_seeds(self, capsys):
+        import json
+        code, out = run_cli(capsys, "fuzz", "--seed", "0", "--count", "1",
+                            "--resume-seeds", "3,5", "--no-write",
+                            "--json")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["summary"]["schedules"] == [3, 5]
+        # 2 seeds x (reference + each checked stage).
+        runs = doc["cases"][0]["schedule_runs"]
+        assert runs % 2 == 0 and runs > 0
+
+    def test_fuzz_bad_resume_seeds(self, capsys):
+        code = main(["fuzz", "--resume-seeds", "3,x", "--no-write"])
+        assert code == 2
+
+    def test_fuzz_schedule_interrupt_writes_resumable_envelope(
+            self, capsys, monkeypatch):
+        import json
+        import repro.fuzz.cli as fuzz_cli
+        from repro.fuzz.corpus import KernelCase
+        from repro.fuzz.oracle import CaseResult, ScheduleInterrupted
+
+        def fake_run_case(case, opts):
+            partial = CaseResult(case=case, status="ok", schedule_runs=2)
+            raise ScheduleInterrupted(partial, "+coalesce", [0, 1],
+                                      [2, 3])
+
+        monkeypatch.setattr(fuzz_cli, "run_case", fake_run_case)
+        code = main(["fuzz", "--seed", "0", "--count", "2",
+                     "--schedules", "4", "--no-write", "--json"])
+        out = capsys.readouterr().out
+        assert code == 130
+        doc = json.loads(out)
+        assert doc["interrupted"] is True
+        entry = doc["cases"][0]
+        assert entry["interrupted_stage"] == "+coalesce"
+        assert entry["completed_schedule_seeds"] == [0, 1]
+        assert entry["pending_schedule_seeds"] == [2, 3]

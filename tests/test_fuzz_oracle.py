@@ -12,7 +12,9 @@ from repro.fuzz.corpus import KernelCase
 from repro.fuzz.grammar import generate_case
 from repro.fuzz.oracle import (
     STAGE_NAMES,
+    CaseResult,
     OracleOptions,
+    ScheduleInterrupted,
     case_seed,
     make_arrays,
     run_case,
@@ -132,3 +134,90 @@ class TestReducer:
         # The reduced case still reproduces the same failure mode.
         again = run_case(reduced)
         assert again.status == "divergent"
+
+
+class TestScheduleOracle:
+    def test_clean_case_is_schedule_invariant(self):
+        opts = OracleOptions(schedules=3)
+        result = run_case(MM_LIKE, opts)
+        assert result.ok, [d.render() for d in result.divergences]
+        # reference + 6 stages, 3 schedules each.
+        assert result.schedule_runs == 3 * (1 + len(STAGE_NAMES))
+        assert result.to_dict()["schedule_runs"] == result.schedule_runs
+
+    def test_explicit_seed_list_overrides_count(self):
+        opts = OracleOptions(stages=("naive",), schedule_seeds=(4, 1))
+        assert opts.schedule_seed_plan() == [(4, "chaos"), (1, "chaos")]
+        result = run_case(MM_LIKE, opts)
+        assert result.ok
+        assert result.schedule_runs == 2 * 2  # reference + naive stage
+
+    def test_dropped_barrier_surfaces_as_schedule_divergence(
+            self, broken_coalesce):
+        opts = OracleOptions(schedules=6)
+        result = run_case(MM_LIKE, opts)
+        assert result.status == "divergent"
+        schedule_divs = [d for d in result.divergences
+                         if d.kind == "schedule"]
+        assert schedule_divs, \
+            "racy miscompile should diverge under some seeded schedule"
+        for div in schedule_divs:
+            assert div.meta is not None
+            assert div.meta["scheduler"] in ("rr", "random", "chaos")
+            assert isinstance(div.meta["seed"], int)
+            assert div.meta["yields"] > 0
+            assert div.meta["trace_tail"]
+            # meta lands in the envelope via to_dict.
+            assert div.to_dict()["meta"]["seed"] == div.meta["seed"]
+
+    def test_verifier_race_gets_schedule_confirmation(self,
+                                                      broken_coalesce):
+        opts = OracleOptions(schedules=6)
+        result = run_case(MM_LIKE, opts)
+        confirmed = [d for d in result.divergences
+                     if d.kind == "verify" and d.meta
+                     and "race_confirmation" in d.meta]
+        assert confirmed, "race-verify divergences should carry the " \
+            "confirm_race verdict when schedules are on"
+        for div in confirmed:
+            conf = div.meta["race_confirmation"]
+            assert conf["confirmed"] is True
+            assert "seed" in conf and "scheduler" in conf
+
+    def test_schedule_divergence_shrinks(self, broken_coalesce):
+        opts = OracleOptions(stages=("+coalesce",), schedules=3)
+        case = generate_case(0, 36)
+        base = run_case(case, opts)
+        assert base.status == "divergent"
+        reduced, attempts = reduce_case(case, opts, base_result=base,
+                                        max_attempts=60)
+        assert source_lines(reduced) <= source_lines(case)
+        again = run_case(reduced, opts)
+        assert again.status == "divergent"
+
+    def test_interrupt_is_resumable(self, monkeypatch):
+        # A KeyboardInterrupt mid-campaign surfaces as
+        # ScheduleInterrupted with the completed/pending seed split.
+        from repro.sim import scheduled as sched_mod
+        fired = {"n": 0}
+        orig = sched_mod.ScheduledInterpreter.run
+
+        def interrupting(self, *args, **kwargs):
+            fired["n"] += 1
+            if fired["n"] == 3:
+                raise KeyboardInterrupt
+            return orig(self, *args, **kwargs)
+
+        monkeypatch.setattr(sched_mod.ScheduledInterpreter, "run",
+                            interrupting)
+        with pytest.raises(ScheduleInterrupted) as info:
+            run_case(MM_LIKE, OracleOptions(schedules=5))
+        exc = info.value
+        assert isinstance(exc, KeyboardInterrupt)
+        assert isinstance(exc.result, CaseResult)
+        assert exc.completed_seeds == [0, 1]
+        assert exc.pending_seeds == [2, 3, 4]
+        # Resuming with exactly the pending seeds completes cleanly.
+        resumed = run_case(MM_LIKE, OracleOptions(
+            schedule_seeds=tuple(exc.pending_seeds)))
+        assert resumed.ok

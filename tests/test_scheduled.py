@@ -1,0 +1,211 @@
+"""Property tests for the scheduled (interleaving) backend.
+
+Pins the contracts the schedule-space oracle builds on:
+
+* determinism — a fixed (kernel, inputs, scheduler kind, seed) replays
+  to the identical schedule trace and output bits;
+* lockstep containment — round-robin on a race-free kernel is
+  bit-identical to the lockstep interpreter (lockstep is one point of
+  the schedule lattice, DESIGN.md 5.7);
+* deadlock detection — a conditionally-skipped barrier raises
+  :class:`DeadlockError` naming the stuck warps, and that error stays
+  inside the :class:`BarrierError` family so cross-backend error
+  comparison treats both reports as the same bug.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lang.parser import parse_kernel
+from repro.sim.backend import run_kernel
+from repro.sim.interp import BarrierError, Interpreter, LaunchConfig
+from repro.sim.scheduled import (
+    SCHEDULER_KINDS,
+    ChaosScheduler,
+    DeadlockError,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScheduledInterpreter,
+    make_scheduler,
+    run_scheduled,
+    schedule_plan,
+    scheduler_kind_for_seed,
+)
+from repro.sim.vectorized import UnsupportedKernelError
+
+CLEAN_TILE = """
+__global__ void tile_reverse(float a[n], float c[n], int n) {
+    __shared__ float s[32];
+    int t = tidx;
+    s[t] = a[bidx * 32 + t];
+    __syncthreads();
+    c[bidx * 32 + t] = s[31 - t];
+}
+"""
+
+BARRIER_FREE = """
+__global__ void saxpyish(float a[n], float c[n], int n) {
+    int i = bidx * 32 + tidx;
+    c[i] = a[i] + a[i] * a[i];
+}
+"""
+
+SKIPPED_BARRIER = """
+__global__ void ragged(float a[n], float c[n], int n) {
+    int t = tidx;
+    if (t < 16) {
+        __syncthreads();
+    }
+    c[bidx * 32 + t] = a[bidx * 32 + t];
+}
+"""
+
+CONFIG = LaunchConfig(grid=(2, 1), block=(32, 1))
+
+
+def _arrays(rng_seed=7):
+    rng = np.random.default_rng(rng_seed)
+    return {"a": rng.integers(0, 8, size=64).astype(np.float32),
+            "c": np.zeros(64, dtype=np.float32)}
+
+
+def _run(source, scheduler, arrays=None):
+    kernel = parse_kernel(source)
+    work = arrays if arrays is not None else _arrays()
+    result = run_scheduled(kernel, CONFIG, work, {"n": 64},
+                           scheduler=scheduler)
+    return work, result
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+    def test_same_seed_same_trace_and_bits(self, kind):
+        first_work, first = _run(CLEAN_TILE, make_scheduler(kind, seed=5))
+        second_work, second = _run(CLEAN_TILE, make_scheduler(kind, seed=5))
+        assert first.trace_tail == second.trace_tail
+        assert first.yields == second.yields
+        np.testing.assert_array_equal(first_work["c"], second_work["c"])
+
+    def test_different_seeds_may_differ_in_trace(self):
+        # Not a semantic requirement, but if every seed produced the same
+        # schedule the oracle would be exploring nothing.
+        _, a = _run(CLEAN_TILE, RandomScheduler(seed=0))
+        _, b = _run(CLEAN_TILE, RandomScheduler(seed=1))
+        assert a.yields == b.yields  # same work, different order
+        assert a.trace_tail != b.trace_tail
+
+    def test_result_metadata_roundtrips(self):
+        _, result = _run(CLEAN_TILE, RandomScheduler(seed=3))
+        doc = result.to_dict()
+        assert doc["scheduler"] == "random" and doc["seed"] == 3
+        assert doc["yields"] == result.yields > 0
+        assert doc["n_warps"] == 4  # 2 blocks x 2 half-warps
+        assert doc["trace_tail"] == list(result.trace_tail)
+
+
+class TestLockstepContainment:
+    @pytest.mark.parametrize("source", [BARRIER_FREE, CLEAN_TILE])
+    def test_round_robin_matches_lockstep(self, source):
+        kernel = parse_kernel(source)
+        lock = _arrays()
+        Interpreter(kernel).run(CONFIG, lock, {"n": 64})
+        sched, _ = _run(source, RoundRobinScheduler())
+        np.testing.assert_array_equal(sched["c"], lock["c"])
+
+    @pytest.mark.parametrize("kind", SCHEDULER_KINDS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_race_free_kernel_is_schedule_invariant(self, kind, seed):
+        kernel = parse_kernel(CLEAN_TILE)
+        lock = _arrays()
+        Interpreter(kernel).run(CONFIG, lock, {"n": 64})
+        work, _ = _run(CLEAN_TILE, make_scheduler(kind, seed))
+        np.testing.assert_array_equal(work["c"], lock["c"])
+
+
+class TestDeadlock:
+    def test_skipped_barrier_deadlocks_and_names_warps(self):
+        with pytest.raises(DeadlockError) as info:
+            _run(SKIPPED_BARRIER, RandomScheduler(seed=0))
+        err = info.value
+        # Only warp 0 of each block reaches the barrier; warp 1 exits.
+        assert {entry["warp"] for entry in err.stuck} == {0, 2}
+        for entry in err.stuck:
+            assert entry["scope"] == "block"
+            assert "tidx" in entry["context"] or "t" in entry["context"]
+            assert entry["finished_in_block"], \
+                "report should show threads that exited without arriving"
+        assert "waiting at" in str(err)
+
+    def test_deadlock_is_a_barrier_error(self):
+        # The lockstep interpreter reports this program as BarrierError;
+        # keeping DeadlockError in the family makes the two backends
+        # agree on the error classification.
+        kernel = parse_kernel(SKIPPED_BARRIER)
+        with pytest.raises(BarrierError):
+            Interpreter(kernel).run(CONFIG, _arrays(), {"n": 64})
+        with pytest.raises(BarrierError):
+            _run(SKIPPED_BARRIER, RandomScheduler(seed=1))
+
+
+class TestSchedulers:
+    def test_make_scheduler_kinds(self):
+        assert isinstance(make_scheduler("rr"), RoundRobinScheduler)
+        assert isinstance(make_scheduler("random", 9), RandomScheduler)
+        assert isinstance(make_scheduler("chaos", 9), ChaosScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler("fifo")
+
+    def test_seed_kind_mapping_is_deterministic(self):
+        assert [scheduler_kind_for_seed(s) for s in range(6)] \
+            == ["random", "chaos", "rr", "random", "chaos", "rr"]
+
+    def test_schedule_plan_default_and_resume(self):
+        assert schedule_plan(3) == [(0, "random"), (1, "chaos"), (2, "rr")]
+        assert schedule_plan(0, seeds=(7, 2)) == [(7, "chaos"), (2, "rr")]
+
+    def test_chaos_starves_one_warp(self):
+        sched = ChaosScheduler(seed=0, quantum=4)
+        sched.attach(2)
+        picks = [sched.pick([0, 1], step) for step in range(4)]
+        assert picks == [1, 1, 1, 1]  # warp 0 starved in the first quantum
+        picks = [sched.pick([0, 1], step) for step in range(4, 8)]
+        assert picks == [0, 0, 0, 0]  # victim rotates
+        assert sched.pick([0], 0) == 0  # sole runnable warp always runs
+
+
+class TestBackendDispatch:
+    def test_run_kernel_scheduled(self):
+        kernel = parse_kernel(CLEAN_TILE)
+        lock = _arrays()
+        Interpreter(kernel).run(CONFIG, lock, {"n": 64})
+        work = _arrays()
+        name = run_kernel(kernel, CONFIG, work, {"n": 64},
+                          backend="scheduled",
+                          scheduler=make_scheduler("random", 2))
+        assert name == "scheduled"
+        np.testing.assert_array_equal(work["c"], lock["c"])
+
+    def test_scheduler_last_result_is_filled(self):
+        kernel = parse_kernel(CLEAN_TILE)
+        sched = make_scheduler("chaos", 1)
+        run_kernel(kernel, CONFIG, _arrays(), {"n": 64},
+                   backend="scheduled", scheduler=sched)
+        assert sched.last_result is not None
+        assert sched.last_result.scheduler == "chaos"
+
+    def test_trace_hook_refused(self):
+        kernel = parse_kernel(CLEAN_TILE)
+        with pytest.raises(UnsupportedKernelError):
+            run_kernel(kernel, CONFIG, _arrays(), {"n": 64},
+                       backend="scheduled", trace=lambda *a, **k: None)
+
+    def test_default_scheduler_is_seeded_random(self):
+        kernel = parse_kernel(CLEAN_TILE)
+        interp = ScheduledInterpreter(kernel)
+        first = {k: v.copy() for k, v in _arrays().items()}
+        second = {k: v.copy() for k, v in _arrays().items()}
+        r1 = interp.run(CONFIG, first, {"n": 64})
+        r2 = interp.run(CONFIG, second, {"n": 64})
+        assert r1.scheduler == r2.scheduler == "random"
+        assert r1.trace_tail == r2.trace_tail
+        np.testing.assert_array_equal(first["c"], second["c"])

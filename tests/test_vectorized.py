@@ -258,7 +258,7 @@ class TestDispatch:
         return {"c": np.zeros(8, np.float32)}
 
     def test_backends_tuple(self):
-        assert BACKENDS == ("lockstep", "vectorized", "auto")
+        assert BACKENDS == ("lockstep", "vectorized", "auto", "scheduled")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown simulator backend"):
