@@ -1,0 +1,254 @@
+"""Compile-service latency/throughput record: cold vs. warm, serial vs.
+parallel.
+
+Two sections, one envelope (schema ``repro.bench-serve/1``, committed as
+``BENCH_serve.json`` and validated by ``tests/test_bench_serve.py``):
+
+* **cache** — per suite kernel, the latency of a cold request (full
+  compile + store write) against a warm one (content-addressed store
+  hit), plus proof the two response payloads are bit-identical;
+* **explore** — one mm design-space sweep (paper Section 4.1) run
+  serially and through a 4-worker pool, scored with the deterministic
+  analytic model so both sweeps provably produce identical grids and
+  the same winner.
+
+The explore comparison is honest about hardware: the envelope records
+the host's usable CPU count, and the regression test only demands a
+wall-clock win when the host can physically deliver one (``cpus >=
+2``); on a single-CPU box it instead bounds the pool's overhead.
+
+Runnable as a script from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--out BENCH_serve.json]
+
+and importable (``run_bench``) so the regression test can smoke it at
+tiny scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+from repro.explore import explore
+from repro.machine import GTX280
+from repro.serve.daemon import CompileService, _json_bytes
+from repro.serve.pool import WorkerPool
+from repro.serve.store import ArtifactStore
+
+BENCH_SCHEMA = "repro.bench-serve/1"
+
+MM_SRC = """
+__global__ void mm(float a[n][w], float b[w][m], float c[n][m], int n, int m, int w) {
+    float sum = 0;
+    for (int i = 0; i < w; i++)
+        sum += a[idy][i] * b[i][idx];
+    c[idy][idx] = sum;
+}
+"""
+
+MV_SRC = """
+__global__ void mv(float a[n][w], float b[w], float c[n], int n, int w) {
+    float sum = 0;
+    for (int i = 0; i < w; i++)
+        sum += a[idx][i] * b[i];
+    c[idx] = sum;
+}
+"""
+
+TP_SRC = """
+__global__ void tp(float a[m][n], float c[n][m], int n, int m) {
+    c[idy][idx] = a[idx][idy];
+}
+"""
+
+
+def _request(name: str, scale: int) -> Dict[str, object]:
+    if name == "mm":
+        return {"source": MM_SRC,
+                "sizes": {"n": scale, "m": scale, "w": scale},
+                "domain": [scale, scale]}
+    if name == "tp":
+        return {"source": TP_SRC, "sizes": {"n": scale, "m": scale},
+                "domain": [scale, scale]}
+    if name == "mv":
+        return {"source": MV_SRC, "sizes": {"n": scale, "w": scale},
+                "domain": [scale, 1]}
+    raise ValueError(f"unknown bench kernel {name!r}")
+
+
+#: Committed-record scales for the cache section.
+DEFAULT_CACHE_SCALES = {"mm": 64, "tp": 256, "mv": 256}
+
+#: Committed-record shape for the explore section.
+DEFAULT_EXPLORE_SCALE = 64
+DEFAULT_WORKERS = 4
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _bench_cache(service: CompileService, name: str, scale: int,
+                 repeats: int) -> Dict[str, object]:
+    request = _request(name, scale)
+    cold_bodies: List[bytes] = []
+    cold_samples: List[float] = []
+    for _ in range(repeats):
+        payload, status = None, None
+
+        def cold():
+            nonlocal payload, status
+            payload, status = service.handle_compile(request)
+
+        cold_samples.append(_time(cold))
+        assert status == "miss", f"{name}: cold request was a {status}"
+        assert payload["ok"], f"{name}: cold compile failed"
+        cold_bodies.append(_json_bytes(payload))
+        key = payload["key"]
+        # Evict so the next repeat is cold again; the last repeat leaves
+        # the entry in place for the warm phase.
+        if len(cold_samples) < repeats:
+            service.store.delete(key)
+    warm_samples: List[float] = []
+    warm_bodies: List[bytes] = []
+    for _ in range(repeats):
+        payload, status = None, None
+
+        def warm():
+            nonlocal payload, status
+            payload, status = service.handle_compile(request)
+
+        warm_samples.append(_time(warm))
+        assert status == "hit", f"{name}: warm request was a {status}"
+        warm_bodies.append(_json_bytes(payload))
+    cold_s = min(cold_samples)
+    warm_s = min(warm_samples)
+    return {
+        "kernel": name,
+        "scale": scale,
+        "sizes": request["sizes"],
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / warm_s,
+        "bit_identical": len(set(cold_bodies[-1:] + warm_bodies)) == 1,
+    }
+
+
+def _grid_fingerprint(result) -> List[Dict[str, object]]:
+    """The deterministic identity of one explored design space."""
+    return [{"block_merge": v.block_merge, "thread_merge": v.thread_merge,
+             "error": v.error,
+             "time_s": v.estimate.time_s if v.estimate else None,
+             "source_text": v.source_text}
+            for v in result.versions]
+
+
+def _bench_explore(scale: int, workers: int) -> Dict[str, object]:
+    sizes = {"n": scale, "m": scale, "w": scale}
+    domain = (scale, scale)
+    serial_result = None
+    parallel_result = None
+
+    def serial():
+        nonlocal serial_result
+        serial_result = explore(MM_SRC, sizes, domain, GTX280)
+
+    def parallel():
+        nonlocal parallel_result
+        parallel_result = explore(MM_SRC, sizes, domain, GTX280,
+                                  workers=workers)
+
+    serial_s = _time(serial)
+    parallel_s = _time(parallel)
+    grid_s = _grid_fingerprint(serial_result)
+    grid_p = _grid_fingerprint(parallel_result)
+    candidates = len(serial_result.versions)
+    return {
+        "kernel": "mm",
+        "scale": scale,
+        "candidates": candidates,
+        "workers": workers,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "serial_candidates_per_s": candidates / serial_s,
+        "parallel_candidates_per_s": candidates / parallel_s,
+        "grids_identical": grid_s == grid_p,
+        "same_winner": (serial_result.best.block_merge,
+                        serial_result.best.thread_merge)
+                       == (parallel_result.best.block_merge,
+                           parallel_result.best.thread_merge),
+        "winner": {"block_merge": serial_result.best.block_merge,
+                   "thread_merge": serial_result.best.thread_merge},
+    }
+
+
+def run_bench(cache_scales: Optional[Dict[str, int]] = None,
+              explore_scale: int = DEFAULT_EXPLORE_SCALE,
+              workers: int = DEFAULT_WORKERS,
+              repeats: int = 3,
+              store_root: Optional[str] = None) -> Dict[str, object]:
+    """Produce the ``repro.bench-serve/1`` envelope (no file I/O beyond
+    the throwaway artifact store)."""
+    import tempfile
+
+    cache_scales = dict(DEFAULT_CACHE_SCALES, **(cache_scales or {}))
+    root = store_root or tempfile.mkdtemp(prefix="repro-bench-serve-")
+    service = CompileService(ArtifactStore(root), pool=WorkerPool(0))
+    try:
+        cache_rows = [_bench_cache(service, name, scale, repeats)
+                      for name, scale in cache_scales.items()]
+    finally:
+        service.close()
+    explore_row = _bench_explore(explore_scale, workers)
+    from repro.obs.envelope import make_envelope
+    return make_envelope(BENCH_SCHEMA,
+                         machine=GTX280.name,
+                         repeats=repeats,
+                         cpus=len(os.sched_getaffinity(0))
+                         if hasattr(os, "sched_getaffinity")
+                         else (os.cpu_count() or 1),
+                         cache=cache_rows,
+                         explore=explore_row)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(root / "BENCH_serve.json"),
+                        help="output path (default: repo-root "
+                             "BENCH_serve.json)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; the minimum is recorded")
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS,
+                        help="pool width for the explore comparison")
+    parser.add_argument("--explore-scale", type=int,
+                        default=DEFAULT_EXPLORE_SCALE)
+    args = parser.parse_args(argv)
+
+    envelope = run_bench(explore_scale=args.explore_scale,
+                         workers=args.workers, repeats=args.repeats)
+    pathlib.Path(args.out).write_text(json.dumps(envelope, indent=2) + "\n")
+    for row in envelope["cache"]:
+        print(f"{row['kernel']:>4}: cold {row['cold_s'] * 1e3:7.1f}ms  "
+              f"warm {row['warm_s'] * 1e3:6.2f}ms  "
+              f"speedup {row['warm_speedup']:6.1f}x  "
+              f"bit_identical={row['bit_identical']}")
+    ex = envelope["explore"]
+    print(f"explore mm{ex['scale']}: serial {ex['serial_s']:.2f}s  "
+          f"{ex['workers']}-worker {ex['parallel_s']:.2f}s  "
+          f"speedup {ex['speedup']:.2f}x on {envelope['cpus']} cpu(s)  "
+          f"grids_identical={ex['grids_identical']}")
+    print(f"[saved to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,9 @@ Usage::
     python -m repro resilience [KERNEL ...] [--chaos] [--inject K:S] \
         [--no-validate] [--budget S] [--json]
 
+    python -m repro serve [--host H] [--port P] [--store DIR] \
+        [--workers N] [--budget S]
+
 The first form prints the optimized kernel, the launch configuration, the
 compiler's decision log, and the analytic performance estimate; with
 ``--verify`` the static analyses (races / divergence / bounds / banks) run
@@ -28,7 +31,10 @@ the static analyses over suite kernels at every pipeline stage; the
 ``fuzz`` form differentially tests generated naive kernels against the
 functional interpreter (see :mod:`repro.fuzz`); the ``profile`` form runs
 suite kernels under the simulator's dynamic hardware counters and gates
-on drift against the static model (see :mod:`repro.obs.report`).
+on drift against the static model (see :mod:`repro.obs.report`); the
+``serve`` form runs the persistent compile service — content-addressed
+caching plus a parallel worker pool over stdlib HTTP (see
+:mod:`repro.serve`).
 
 All subcommands share one convention: exit code 0 = clean, 1 = findings
 (lint errors / fuzz divergences / profile drift / compile failure), 2 =
@@ -136,6 +142,9 @@ def _run(argv=None) -> int:
     if argv and argv[0] == "resilience":
         from repro.resilience.cli import resilience_main
         return resilience_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.daemon import serve_main
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

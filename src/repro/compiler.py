@@ -83,6 +83,26 @@ class CompileOptions:
     pass_budget_s: Optional[float] = None
     faults: Optional[object] = None
 
+    def fingerprint(self) -> Dict[str, object]:
+        """A canonical, JSON-stable identity of these options.
+
+        This is the options component of the compile service's
+        content-addressed cache key (:mod:`repro.serve.store`), so it
+        must cover *every* field that can change the compiled artifact.
+        ``faults`` is an armed :class:`repro.resilience.faults.FaultPlan`
+        (mutable, unhashable); its identity is the sorted spec list, so
+        a fault-injected compile never shares a cache entry with a clean
+        one.
+        """
+        from dataclasses import fields
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "faults":
+                value = sorted(value.specs()) if value is not None else None
+            out[f.name] = value
+        return out
+
 
 def uses_global_sync(kernel: Kernel) -> bool:
     return any(isinstance(s, SyncStmt) and s.scope == "global"

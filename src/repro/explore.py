@@ -57,12 +57,18 @@ class Version:
     #: Wall-clock seconds of a simulator test run (``measure="sim"``).
     measured_s: Optional[float] = None
     #: Dynamic hardware counters of the test run (``measure="sim"``);
-    #: a :class:`repro.obs.profile.KernelProfile`.
+    #: a :class:`repro.obs.profile.KernelProfile` (serial sweeps) or its
+    #: ``to_dict()`` form (parallel sweeps, which cross a process
+    #: boundary).
     profile: Optional[object] = None
+    #: The optimized printed source.  Always populated for feasible
+    #: versions; in parallel sweeps only the winner additionally carries
+    #: a full :class:`CompiledKernel` in ``compiled``.
+    source_text: Optional[str] = None
 
     @property
     def feasible(self) -> bool:
-        return self.compiled is not None
+        return self.error is None
 
     @property
     def time_s(self) -> float:
@@ -117,6 +123,29 @@ def profile_compiled(compiled: CompiledKernel,
     return compiled.profile(_bench_arrays(compiled), backend=backend)
 
 
+def candidate_options(block_merge: int, thread_merge: int,
+                      base: Optional[CompileOptions] = None
+                      ) -> CompileOptions:
+    """The exact options one swept (bm, tm) candidate compiles with.
+
+    Shared by the serial and the pool-parallel sweep, so both explore
+    byte-identical design points (the parallel-equivalence CI step and
+    ``tests/test_serve_pool.py`` pin this).
+    """
+    base = base or CompileOptions()
+    return CompileOptions(
+        enable_vectorize=base.enable_vectorize,
+        enable_coalesce=base.enable_coalesce,
+        enable_merge=True,
+        enable_prefetch=base.enable_prefetch,
+        enable_partition=base.enable_partition,
+        block_merge_x=block_merge,
+        block_merge_y=base.block_merge_y,
+        thread_merge_x=base.thread_merge_x,
+        thread_merge_y=thread_merge,
+        target_threads=16 * block_merge)
+
+
 def explore(source: str, sizes: Dict[str, int], domain: Tuple[int, int],
             machine: GpuSpec = GTX280,
             block_factors: Sequence[int] = BLOCK_MERGE_FACTORS,
@@ -124,49 +153,93 @@ def explore(source: str, sizes: Dict[str, int], domain: Tuple[int, int],
             base_options: Optional[CompileOptions] = None,
             measure: str = "model",
             backend: Optional[str] = None,
+            workers: int = 0,
+            pool: Optional[object] = None,
             ) -> ExplorationResult:
     """Sweep merge factors and pick the best-performing version.
 
     ``measure`` selects the scoring: ``"model"`` uses the analytic
     estimate; ``"sim"`` test-runs each version on the simulator (the
     paper's empirical search) with the given ``backend``.
+
+    ``workers > 0`` (or an explicit :class:`repro.serve.pool.WorkerPool`
+    via ``pool``) fans the candidate compiles out over worker processes:
+    the embarrassingly parallel shape of the paper's Section 4.1
+    empirical search.  Results are identical to the serial sweep (same
+    candidates, same scores, same winner); only the winner carries a
+    full in-process :class:`CompiledKernel`.
     """
     if measure not in ("model", "sim"):
         raise ValueError(f"unknown measure {measure!r}; "
                          f"expected 'model' or 'sim'")
     base = base_options or CompileOptions()
-    versions: List[Version] = []
-    for bm in block_factors:
-        for tm in thread_factors:
-            options = CompileOptions(
-                enable_vectorize=base.enable_vectorize,
-                enable_coalesce=base.enable_coalesce,
-                enable_merge=True,
-                enable_prefetch=base.enable_prefetch,
-                enable_partition=base.enable_partition,
-                block_merge_x=bm,
-                block_merge_y=base.block_merge_y,
-                thread_merge_x=base.thread_merge_x,
-                thread_merge_y=tm,
-                target_threads=16 * bm)
-            try:
-                compiled = compile_kernel(source, sizes, domain, machine,
-                                          options)
-                est = estimate_compiled(compiled)
-                version = Version(bm, tm, compiled, est)
-                if measure == "sim":
-                    version.measured_s = measure_compiled(compiled,
-                                                          backend=backend)
-                    version.profile = profile_compiled(compiled,
-                                                       backend=backend)
-                versions.append(version)
-            except PassError as exc:
-                versions.append(Version(bm, tm, None, None, str(exc)))
+    grid = [(bm, tm) for bm in block_factors for tm in thread_factors]
+    if pool is not None or workers > 0:
+        versions = _explore_pool(source, sizes, domain, machine, grid, base,
+                                 measure, backend, workers, pool)
+    else:
+        versions = _explore_serial(source, sizes, domain, machine, grid,
+                                   base, measure, backend)
     feasible = [v for v in versions if v.feasible]
     if not feasible:
         raise PassError("no feasible version in the explored space")
     best = min(feasible, key=lambda v: v.time_s)
+    if best.compiled is None:
+        # Parallel sweep: materialize the winner locally (compilation is
+        # deterministic, so this is the version the worker scored).
+        best.compiled = compile_kernel(
+            source, sizes, domain, machine,
+            candidate_options(best.block_merge, best.thread_merge, base))
     return ExplorationResult(versions=versions, best=best)
+
+
+def _explore_serial(source, sizes, domain, machine, grid, base,
+                    measure, backend) -> List[Version]:
+    versions: List[Version] = []
+    for bm, tm in grid:
+        options = candidate_options(bm, tm, base)
+        try:
+            compiled = compile_kernel(source, sizes, domain, machine,
+                                      options)
+            est = estimate_compiled(compiled)
+            version = Version(bm, tm, compiled, est,
+                              source_text=compiled.source)
+            if measure == "sim":
+                version.measured_s = measure_compiled(compiled,
+                                                      backend=backend)
+                version.profile = profile_compiled(compiled,
+                                                   backend=backend)
+            versions.append(version)
+        except PassError as exc:
+            versions.append(Version(bm, tm, None, None, str(exc)))
+    return versions
+
+
+def _explore_pool(source, sizes, domain, machine, grid, base,
+                  measure, backend, workers, pool) -> List[Version]:
+    from repro.serve.pool import WorkerPool
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(workers)
+    try:
+        tasks = pool.map("explore", [
+            {"source": source, "sizes": sizes, "domain": domain,
+             "machine": machine,
+             "options": candidate_options(bm, tm, base),
+             "block_merge": bm, "thread_merge": tm,
+             "measure": measure, "backend": backend}
+            for bm, tm in grid])
+        versions = []
+        for (bm, tm), task in zip(grid, tasks):
+            record = task.result()
+            versions.append(Version(
+                bm, tm, None, record["estimate"], record["error"],
+                measured_s=record["measured_s"],
+                profile=record["profile"],
+                source_text=record["source_text"]))
+        return versions
+    finally:
+        if own_pool:
+            pool.close()
 
 
 def autotune(source: str, sizes: Dict[str, int], domain: Tuple[int, int],

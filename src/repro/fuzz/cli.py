@@ -98,6 +98,11 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
                              "range(K) — resume an interrupted --schedules "
                              "campaign from the 'pending_schedule_seeds' of "
                              "its partial envelope")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="fan cases out over N worker processes "
+                             "(repro.serve.pool); 0 = in-process serial. "
+                             "Reduction runs inside the workers; corpus "
+                             "writes stay in the parent")
     parser.add_argument("--corpus-dir", default="tests/corpus",
                         help="where reduced reproducers are written "
                              "(default: tests/corpus)")
@@ -130,6 +135,11 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     divergent_names = []
     interrupted = False
     completed = 0
+    if args.workers > 0:
+        completed, interrupted = _run_parallel(
+            args, opts, cases_json, counts, divergent_names)
+        return _finish(args, cases_json, counts, divergent_names,
+                       interrupted, completed)
     for index in range(args.count):
         # A long campaign interrupted with Ctrl-C still flushes a valid
         # partial envelope (marked "interrupted") instead of dying with a
@@ -193,6 +203,60 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
             interrupted = True
             break
 
+    return _finish(args, cases_json, counts, divergent_names,
+                   interrupted, completed)
+
+
+def _run_parallel(args, opts, cases_json, counts, divergent_names):
+    """Fan the campaign out over a repro.serve worker pool.
+
+    Each worker generates, oracle-checks, and (when divergent) reduces
+    one case; the parent aggregates envelope entries in index order and
+    keeps corpus writes single-writer.  Ctrl-C abandons in-flight cases
+    (no per-seed schedule resume in parallel mode) but still flushes the
+    partial envelope.
+    """
+    from repro.fuzz.corpus import KernelCase
+    from repro.serve.pool import WorkerPool
+
+    completed = 0
+    interrupted = False
+    with WorkerPool(args.workers) as pool:
+        tasks = pool.map("fuzz", [
+            {"seed": args.seed, "index": index, "shape": args.shape,
+             "opts": opts, "reduce": not args.no_reduce,
+             "max_attempts": args.max_reduce_attempts}
+            for index in range(args.count)])
+        for task in tasks:
+            try:
+                out = task.result()
+            except KeyboardInterrupt:
+                interrupted = True
+                break
+            counts[out["status"]] += 1
+            entry = out["entry"]
+            if out["status"] == "divergent":
+                divergent_names.append(out["name"])
+                if not args.as_json and not args.quiet:
+                    print(f"DIVERGENCE {out['name']}")
+                    for line in out["divergences"]:
+                        print(f"  {line}")
+                if not args.no_write:
+                    written = KernelCase.from_dict(
+                        out["reduced_case"] or out["case"])
+                    written.note = ("fuzzer-found divergence: "
+                                    + "; ".join(out["divergences"]))
+                    path = save_case(written, args.corpus_dir)
+                    entry["corpus_path"] = path
+                    if not args.as_json and not args.quiet:
+                        print(f"  wrote reproducer to {path}")
+            cases_json.append(entry)
+            completed += 1
+    return completed, interrupted
+
+
+def _finish(args, cases_json, counts, divergent_names,
+            interrupted, completed):
     exit_code = 1 if counts["divergent"] else (130 if interrupted else 0)
     summary = {
         "cases": args.count,

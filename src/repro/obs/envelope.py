@@ -27,6 +27,8 @@ KNOWN_SCHEMAS = (
     "repro.trace/1",
     "repro.profile/1",
     "repro.resilience/1",
+    "repro.serve/1",
+    "repro.bench-serve/1",
 )
 
 _SCHEMA_RE = re.compile(r"^repro\.[a-z][a-z0-9-]*/[0-9]+$")

@@ -1,0 +1,132 @@
+"""Build the ``repro.serve/1`` compile artifact for one request.
+
+This is the worker-side payload constructor: it runs the (by default
+resilient) compile pipeline and freezes the result into the one JSON
+object the service stores, memoizes, and returns on the wire — the
+optimized source, the launch configuration, the analytic performance
+estimate, the full ``repro.trace/1`` compilation trace, the resilience
+summary, and (on request) a ``repro.profile/1`` dynamic-counter
+envelope from one simulator run.
+
+Expected compile failures (``PassError`` / ``SemanticError``) become a
+structured ``error`` block in the same envelope shape — the service
+returns those without caching them; anything else propagates and is the
+worker's problem (the pool reports it as a worker error).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.envelope import make_envelope
+
+#: Envelope schema tag for every service payload (compile and stats).
+SERVE_SCHEMA = "repro.serve/1"
+
+
+def _estimate_dict(est) -> Dict[str, object]:
+    return {
+        "time_s": est.time_s,
+        "bound_by": est.bound_by,
+        "compute_s": est.compute_s,
+        "bandwidth_s": est.bandwidth_s,
+        "latency_s": est.latency_s,
+        "total_bytes": est.total_bytes,
+        "total_transactions": est.total_transactions,
+        "registers_per_thread": est.registers_per_thread,
+        "shared_bytes_per_block": est.shared_bytes_per_block,
+        "warps_per_sm": est.occupancy.warps_per_sm,
+    }
+
+
+def _resilience_dict(compiled) -> Optional[Dict[str, object]]:
+    report = compiled.resilience
+    if report is None:
+        return None
+    return {
+        "summary": report.summary_line(),
+        "floor": report.floor,
+        "validated": report.validated,
+        "dropped_sites": [d.site for d in report.dropped],
+        "attempts": [
+            {"target_threads": a.target_threads, "floor": a.floor,
+             "ok": a.ok, "error": a.error}
+            for a in compiled.attempts
+        ],
+    }
+
+
+def error_artifact(key: str, error_type: str, message: str,
+                   request: Optional[Dict[str, object]] = None
+                   ) -> Dict[str, Any]:
+    """The envelope shape for an *expected* compile failure."""
+    return make_envelope(
+        SERVE_SCHEMA,
+        command="compile",
+        key=key,
+        ok=False,
+        error={"type": error_type, "message": message},
+        request=request or {},
+    )
+
+
+def build_compile_artifact(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Compile ``payload`` and freeze the result (see module docstring).
+
+    ``payload`` keys: ``source`` (naive kernel text), ``sizes``,
+    ``domain``, ``machine`` (a :class:`repro.machine.GpuSpec`),
+    ``options`` (a :class:`repro.compiler.CompileOptions`), ``key``
+    (the content hash, echoed into the artifact), and ``profile``
+    (bool: also run the dynamic-counter profiler once).
+    """
+    from repro.compiler import compile_kernel
+    from repro.lang.semantic import SemanticError
+    from repro.passes.base import PassError
+    from repro.sim.perf import estimate_compiled
+
+    key = payload.get("key", "")
+    machine = payload["machine"]
+    options = payload["options"]
+    request = {
+        "sizes": {str(k): int(v) for k, v in sorted(payload["sizes"].items())},
+        "domain": [int(payload["domain"][0]), int(payload["domain"][1])],
+        "machine": machine.name,
+        "options": options.fingerprint(),
+        "profile": bool(payload.get("profile", False)),
+    }
+    try:
+        compiled = compile_kernel(payload["source"], payload["sizes"],
+                                  tuple(payload["domain"]), machine, options)
+    except (PassError, SemanticError) as exc:
+        return error_artifact(key, type(exc).__name__, str(exc), request)
+
+    est = estimate_compiled(compiled, machine)
+    profile_env = None
+    if payload.get("profile"):
+        from repro.explore import profile_compiled
+        prof = profile_compiled(compiled, backend=payload.get("backend"))
+        profile_env = prof.to_envelope(kernel=compiled.name,
+                                       machine=machine.name,
+                                       backend=prof.backend)
+    return make_envelope(
+        SERVE_SCHEMA,
+        command="compile",
+        key=key,
+        ok=True,
+        error=None,
+        kernel=compiled.name,
+        request=request,
+        result={
+            "source": compiled.source,
+            "launch": {"grid": list(compiled.config.grid),
+                       "block": list(compiled.config.block)},
+            "shared_mem_bytes": compiled.plan.shared_mem_bytes,
+            "est_registers_per_thread": compiled.plan.est_registers_per_thread,
+            "estimate": _estimate_dict(est),
+        },
+        resilience=_resilience_dict(compiled),
+        decision_log=list(compiled.log),
+        trace=compiled.trace.to_envelope(kernel=compiled.name,
+                                         machine=machine.name),
+        profile=profile_env,
+    )

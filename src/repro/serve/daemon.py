@@ -1,0 +1,389 @@
+"""The compile service and its stdlib HTTP front end.
+
+:class:`CompileService` is the transport-independent core: it parses a
+request, derives the content-addressed cache key, and serves the
+artifact with **single-flight** semantics — concurrent requests for the
+same key coalesce onto one compile (exactly one compile per unique
+hash, the invariant the concurrency stress test pins), everyone else
+waits for the leader's result.  Hits come straight off the
+:class:`~repro.serve.store.ArtifactStore`; misses fan out over the
+:class:`~repro.serve.pool.WorkerPool`.  Because the artifact body is
+cache-status-free (the hit/miss verdict travels in the
+``X-Repro-Cache`` response header and the ``/stats`` counters),
+duplicate requests get byte-identical response bodies.
+
+HTTP surface (``python -m repro serve``):
+
+* ``POST /compile`` — body ``{"source": ..., "sizes": {...},
+  "domain": [x, y] | "XxY", "machine": "GTX280", "options": {...},
+  "profile": false}``; answers a ``repro.serve/1`` envelope (200 =
+  compiled, 422 = expected compile failure, 400 = bad request, 500 =
+  worker lost).
+* ``GET /stats`` — hit/miss/error/corrupt counters, queue depth, store
+  size, worker respawns, as a ``repro.serve/1`` envelope.
+* ``GET /healthz`` — liveness probe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.compiler import CompileOptions
+from repro.machine import MACHINES, GpuSpec, machine
+from repro.obs.envelope import make_envelope
+from repro.serve.artifact import SERVE_SCHEMA, error_artifact
+from repro.serve.pool import WorkerDied, WorkerError, WorkerPool
+from repro.serve.store import ArtifactStore, cache_key
+
+#: Default TCP port (unassigned in the IANA registry; '2010' for PLDI).
+DEFAULT_PORT = 8210
+
+
+class RequestError(ValueError):
+    """A malformed service request (HTTP 400)."""
+
+
+def _json_bytes(payload: Dict[str, Any]) -> bytes:
+    """The one canonical wire rendering: stored payloads and fresh
+    payloads serialize identically, so duplicates are byte-identical."""
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+
+
+def parse_request(request: Dict[str, Any],
+                  ) -> Tuple[str, Dict[str, int], Tuple[int, int],
+                             GpuSpec, CompileOptions, bool]:
+    """Validate and normalize one /compile request body."""
+    if not isinstance(request, dict):
+        raise RequestError("request body must be a JSON object")
+    source = request.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise RequestError("'source' must be a non-empty string")
+    sizes_in = request.get("sizes", {})
+    if not isinstance(sizes_in, dict):
+        raise RequestError("'sizes' must be an object of name -> int")
+    try:
+        sizes = {str(k): int(v) for k, v in sizes_in.items()}
+    except (TypeError, ValueError):
+        raise RequestError("'sizes' values must be integers")
+    domain_in = request.get("domain")
+    if isinstance(domain_in, str):
+        x, _, y = domain_in.partition("x")
+        try:
+            domain = (int(x), int(y) if y else 1)
+        except ValueError:
+            raise RequestError(f"bad 'domain' string {domain_in!r}; "
+                               f"expected 'XxY' or 'X'")
+    elif isinstance(domain_in, (list, tuple)) and len(domain_in) == 2:
+        try:
+            domain = (int(domain_in[0]), int(domain_in[1]))
+        except (TypeError, ValueError):
+            raise RequestError("'domain' entries must be integers")
+    else:
+        raise RequestError("'domain' must be [x, y] or 'XxY'")
+    machine_name = request.get("machine", "GTX280")
+    if machine_name not in MACHINES:
+        raise RequestError(f"unknown machine {machine_name!r}; "
+                           f"available: {sorted(MACHINES)}")
+    mach = machine(machine_name)
+
+    opts_in = dict(request.get("options") or {})
+    if not isinstance(request.get("options") or {}, dict):
+        raise RequestError("'options' must be an object")
+    faults_spec = opts_in.pop("faults", None)
+    known = {f.name for f in dataclasses.fields(CompileOptions)}
+    unknown = sorted(set(opts_in) - known)
+    if unknown:
+        raise RequestError(f"unknown option(s): {', '.join(unknown)}; "
+                           f"known: {', '.join(sorted(known))}")
+    # The service compiles resiliently by default: a degraded kernel
+    # beats a 5xx.  Clients opt out with {"resilient": false}.
+    opts_in.setdefault("resilient", True)
+    try:
+        options = CompileOptions(**opts_in)
+    except TypeError as exc:
+        raise RequestError(f"bad options: {exc}")
+    if faults_spec is not None:
+        from repro.resilience.faults import FaultPlan, FaultSpecError
+        try:
+            options = dataclasses.replace(
+                options, faults=FaultPlan.parse(faults_spec))
+        except FaultSpecError as exc:
+            raise RequestError(str(exc))
+    profile = bool(request.get("profile", False))
+    return source, sizes, domain, mach, options, profile
+
+
+class _Flight:
+    """One in-flight compile other requests for the same key join."""
+
+    __slots__ = ("done", "payload", "cacheable")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.payload: Optional[Dict[str, Any]] = None
+        self.cacheable = False
+
+
+class CompileService:
+    """Single-flight, content-addressed compile service (see module doc)."""
+
+    def __init__(self, store: ArtifactStore,
+                 pool: Optional[WorkerPool] = None,
+                 workers: Optional[int] = None,
+                 pass_budget_s: Optional[float] = None):
+        self.store = store
+        self.pool = pool if pool is not None else WorkerPool(workers)
+        self.pass_budget_s = pass_budget_s
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _Flight] = {}
+        self.counters: Dict[str, int] = {
+            "requests": 0, "hits": 0, "misses": 0, "errors": 0,
+            "compiles": 0, "bad_requests": 0,
+        }
+
+    # -- core --------------------------------------------------------------
+
+    def handle_compile(self, request: Dict[str, Any]
+                       ) -> Tuple[Dict[str, Any], str]:
+        """Serve one request; returns ``(payload, cache_status)`` where
+        cache_status is ``hit`` (store or coalesced), ``miss`` (this
+        request compiled), or ``error``."""
+        try:
+            source, sizes, domain, mach, options, profile = \
+                parse_request(request)
+        except RequestError:
+            with self._lock:
+                self.counters["requests"] += 1
+                self.counters["bad_requests"] += 1
+            raise
+        if self.pass_budget_s is not None and options.pass_budget_s is None:
+            options = dataclasses.replace(
+                options, pass_budget_s=self.pass_budget_s,
+                resilient=True)
+        key = cache_key(source, sizes, domain, mach, options,
+                        extra={"profile": profile})
+
+        leader = False
+        with self._lock:
+            self.counters["requests"] += 1
+            cached = self.store.get(key)
+            if cached is not None:
+                self.counters["hits"] += 1
+                return cached, "hit"
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                leader = True
+                self.counters["misses"] += 1
+                self.counters["compiles"] += 1
+
+        if not leader:
+            flight.done.wait()
+            with self._lock:
+                if flight.cacheable:
+                    self.counters["hits"] += 1
+                    return flight.payload, "hit"
+                self.counters["errors"] += 1
+                return flight.payload, "error"
+
+        try:
+            payload, cacheable = self._compile(key, source, sizes, domain,
+                                               mach, options, profile)
+        except BaseException:
+            # Never leave waiters hanging: publish a structured internal
+            # error, then re-raise for the transport layer.
+            payload = error_artifact(key, "InternalError",
+                                     "compile leader failed unexpectedly")
+            cacheable = False
+            raise
+        finally:
+            with self._lock:
+                flight.payload = payload
+                flight.cacheable = cacheable
+                del self._inflight[key]
+            flight.done.set()
+        if cacheable:
+            self.store.put(key, payload)
+            return payload, "miss"
+        with self._lock:
+            self.counters["errors"] += 1
+        return payload, "error"
+
+    def _compile(self, key: str, source: str, sizes: Dict[str, int],
+                 domain: Tuple[int, int], mach: GpuSpec,
+                 options: CompileOptions, profile: bool
+                 ) -> Tuple[Dict[str, Any], bool]:
+        task = self.pool.submit("compile", {
+            "key": key, "source": source, "sizes": sizes, "domain": domain,
+            "machine": mach, "options": options, "profile": profile,
+        })
+        try:
+            payload = task.result()
+        except WorkerDied as exc:
+            return error_artifact(key, "WorkerDied", str(exc)), False
+        except WorkerError as exc:
+            return error_artifact(key, exc.error_type,
+                                  exc.remote_message), False
+        return payload, bool(payload.get("ok"))
+
+    # -- stats -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = dict(self.counters)
+            inflight = len(self._inflight)
+        counters["corrupt_evictions"] = self.store.stats.corrupt
+        return make_envelope(
+            SERVE_SCHEMA,
+            command="stats",
+            uptime_s=round(time.time() - self.started_at, 3),
+            counters=counters,
+            queue_depth=self.pool.queue_depth,
+            inflight=inflight,
+            workers=self.pool.workers,
+            worker_respawns=self.pool.respawns,
+            store={"root": self.store.root,
+                   "entries": len(self.store),
+                   **self.store.stats.to_dict()},
+            events=list(self.store.events),
+        )
+
+    def close(self) -> None:
+        self.pool.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> CompileService:
+        return self.server.service         # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):     # noqa: N802 (stdlib name)
+        if getattr(self.server, "verbose", False):
+            sys.stderr.write("serve: %s\n" % (fmt % args))
+
+    def _reply(self, status: int, payload: Dict[str, Any],
+               cache: Optional[str] = None) -> None:
+        body = _json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if cache is not None:
+            self.send_header("X-Repro-Cache", cache)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):                      # noqa: N802
+        if self.path == "/stats":
+            self._reply(200, self.service.stats())
+        elif self.path == "/healthz":
+            self._reply(200, {"ok": True})
+        else:
+            self._reply(404, {"ok": False,
+                              "error": f"no such path {self.path!r}"})
+
+    def do_POST(self):                     # noqa: N802
+        if self.path != "/compile":
+            self._reply(404, {"ok": False,
+                              "error": f"no such path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            request = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._reply(400, {"ok": False,
+                              "error": f"bad JSON body: {exc}"})
+            return
+        try:
+            payload, cache = self.service.handle_compile(request)
+        except RequestError as exc:
+            self._reply(400, {"ok": False, "error": str(exc)},
+                        cache="error")
+            return
+        except Exception as exc:
+            self._reply(500, {"ok": False,
+                              "error": f"internal error "
+                                       f"[{type(exc).__name__}]: {exc}"},
+                        cache="error")
+            return
+        if payload.get("ok"):
+            self._reply(200, payload, cache=cache)
+        else:
+            err = (payload.get("error") or {}).get("type", "")
+            status = 500 if err in ("WorkerDied", "InternalError") else 422
+            self._reply(status, payload, cache=cache)
+
+
+class ServeServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying its :class:`CompileService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: CompileService,
+                 verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro serve`` — run the compile daemon."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Persistent compile service: content-addressed "
+                    "caching + parallel fan-out (DESIGN.md 5.8).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"TCP port (0 = ephemeral; default "
+                             f"{DEFAULT_PORT})")
+    parser.add_argument("--store", default=".repro_store", metavar="DIR",
+                        help="artifact store directory "
+                             "(default: .repro_store)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="compile worker processes "
+                             "(default: min(4, cpus); 0 = in-process)")
+    parser.add_argument("--budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-pass wall-clock budget applied to every "
+                             "compile (resilient rollback on overrun)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log each HTTP request to stderr")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+
+    service = CompileService(ArtifactStore(args.store),
+                             workers=args.workers,
+                             pass_budget_s=args.budget)
+    server = ServeServer((args.host, args.port), service,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"serving repro compile service on http://{host}:{port} "
+          f"(workers={service.pool.workers}, store={args.store})",
+          flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        print("serve: shut down cleanly", flush=True)
+    return 0

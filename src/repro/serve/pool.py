@@ -1,0 +1,469 @@
+"""Crash-isolated ``multiprocessing`` worker pool for the compile service.
+
+Design: one supervisor *thread* per worker *process*, all feeding from a
+shared task queue.  Each supervisor sends exactly one task at a time
+down its worker's pipe, so when a worker dies (a SIGKILL'd process, a
+segfault, an OOM kill) the supervisor knows precisely which task was in
+flight: it respawns the worker and retries the task up to
+``max_retries`` times before completing it with a structured
+``worker-died`` error.  A dead worker therefore never takes down the
+service and never wedges the queue — the chaos battery in
+``tests/test_serve_chaos.py`` kills workers mid-compile to prove it.
+
+Inside a worker, compiles run the resilient pipeline (PR 5): per-worker
+pass budgets and injected faults roll back the failing pass and degrade
+toward the all-optimizations-off floor instead of crashing the process.
+
+Task kinds are a small registry of module-level handlers (picklable
+under any start method): ``compile`` builds the ``repro.serve/1``
+artifact payload, ``explore`` compiles one design-space candidate,
+``fuzz`` runs one differential-fuzzer case, and ``sleep`` exists for the
+chaos tests to hold a worker hostage.
+
+When ``REPRO_COVERAGE_DIR`` is set, each worker traces its own line
+execution under ``src/repro`` and dumps the hit set to that directory on
+exit, so ``tools/approx_coverage.py`` can fold subprocess coverage into
+its floor computation.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue
+import sys
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Environment variable naming a directory for per-worker line-coverage
+#: dumps (consumed by ``tools/approx_coverage.py``).
+COVERAGE_ENV = "REPRO_COVERAGE_DIR"
+
+_STOP = object()
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+class WorkerDied(RuntimeError):
+    """A task's worker died (even after retries); the task was lost."""
+
+
+class WorkerError(RuntimeError):
+    """The task raised inside the worker; message carries the remote
+    exception type and text."""
+
+    def __init__(self, error_type: str, message: str, tb: str = ""):
+        super().__init__(f"[{error_type}] {message}")
+        self.error_type = error_type
+        self.remote_message = message
+        self.remote_traceback = tb
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _handle_compile(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Compile one kernel and build its ``repro.serve/1`` artifact."""
+    from repro.serve.artifact import build_compile_artifact
+    return build_compile_artifact(payload)
+
+
+def _handle_explore(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Compile + score one design-space candidate (see repro.explore)."""
+    from repro.compiler import compile_kernel
+    from repro.explore import measure_compiled, profile_compiled
+    from repro.passes.base import PassError
+    from repro.sim.perf import estimate_compiled
+
+    record: Dict[str, Any] = {"block_merge": payload["block_merge"],
+                              "thread_merge": payload["thread_merge"],
+                              "error": None, "estimate": None,
+                              "measured_s": None, "profile": None,
+                              "source_text": None}
+    try:
+        compiled = compile_kernel(payload["source"], payload["sizes"],
+                                  payload["domain"], payload["machine"],
+                                  payload["options"])
+        record["estimate"] = estimate_compiled(compiled)
+        record["source_text"] = compiled.source
+        if payload.get("measure") == "sim":
+            record["measured_s"] = measure_compiled(
+                compiled, backend=payload.get("backend"))
+            record["profile"] = profile_compiled(
+                compiled, backend=payload.get("backend")).to_dict()
+    except PassError as exc:
+        record["error"] = str(exc)
+    return record
+
+
+def _handle_fuzz(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Generate and oracle-check one fuzz case (optionally reduced)."""
+    from repro.fuzz.grammar import generate_case
+    from repro.fuzz.oracle import run_case
+    from repro.fuzz.reduce import reduce_case, source_lines
+
+    case = generate_case(payload["seed"], payload["index"],
+                         shape=payload.get("shape"))
+    opts = payload["opts"]
+    result = run_case(case, opts)
+    entry = result.to_dict()
+    entry["lines"] = source_lines(case)
+    out: Dict[str, Any] = {"status": result.status, "entry": entry,
+                           "name": case.name, "case": case.to_dict(),
+                           "divergences": [d.render()
+                                           for d in result.divergences],
+                           "reduced_case": None}
+    if result.status == "divergent" and payload.get("reduce", True):
+        reduced, spent = reduce_case(
+            case, opts, max_attempts=payload.get("max_attempts", 250),
+            base_result=result)
+        entry["reduced"] = {
+            "source": reduced.source,
+            "sizes": dict(reduced.sizes),
+            "domain": list(reduced.domain),
+            "lines": source_lines(reduced),
+            "oracle_runs": spent,
+        }
+        out["reduced_case"] = reduced.to_dict()
+    return out
+
+
+def _handle_sleep(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Chaos-test helper: sleep (first visit) or return immediately.
+
+    With a ``marker`` path: the first worker to run the task creates the
+    marker and sleeps — giving the test a window to SIGKILL it — while
+    the *retry* (after respawn) sees the marker and succeeds at once.
+    """
+    marker = payload.get("marker")
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as f:
+            f.write(str(os.getpid()))
+        time.sleep(payload.get("sleep_s", 60.0))
+    elif not marker:
+        time.sleep(payload.get("sleep_s", 0.0))
+    return {"status": "slept", "pid": os.getpid()}
+
+
+HANDLERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    "compile": _handle_compile,
+    "explore": _handle_explore,
+    "fuzz": _handle_fuzz,
+    "sleep": _handle_sleep,
+}
+
+_SRC_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_cov_hits: Dict[str, set] = {}
+
+
+def _cov_local(frame, event, arg):
+    if event == "line":
+        _cov_hits[frame.f_code.co_filename].add(frame.f_lineno)
+    return _cov_local
+
+
+def _cov_global(frame, event, arg):
+    if event == "call":
+        fn = frame.f_code.co_filename
+        if fn.startswith(_SRC_ROOT):
+            _cov_hits.setdefault(fn, set())
+            return _cov_local
+    return None
+
+
+def _cov_dump(cov_dir: str) -> None:
+    path = os.path.join(cov_dir, f"worker-{os.getpid()}-{id(_cov_hits)}.json")
+    try:
+        with open(path, "w") as f:
+            json.dump({fn: sorted(lines) for fn, lines in _cov_hits.items()},
+                      f)
+    except OSError:
+        pass
+
+
+def _worker_main(conn, cov_dir: Optional[str]) -> None:
+    """The worker process loop: recv (kind, payload), send (status, out)."""
+    if cov_dir:
+        sys.settrace(_cov_global)
+        threading.settrace(_cov_global)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError, KeyboardInterrupt):
+                break
+            if msg is None:         # graceful stop sentinel
+                break
+            kind, payload = msg
+            try:
+                handler = HANDLERS[kind]
+                out = handler(payload)
+                conn.send(("ok", out))
+            except KeyboardInterrupt:
+                break
+            except BaseException as exc:
+                conn.send(("error", {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(limit=8),
+                }))
+    finally:
+        if cov_dir:
+            sys.settrace(None)
+            _cov_dump(cov_dir)
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+class _Task:
+    """One submitted unit of work and its eventual outcome."""
+
+    __slots__ = ("kind", "payload", "attempts", "status", "value", "_done")
+
+    def __init__(self, kind: str, payload: Dict[str, Any]):
+        self.kind = kind
+        self.payload = payload
+        self.attempts = 0
+        self.status: Optional[str] = None     # ok | error | worker-died
+        self.value: Any = None
+        self._done = threading.Event()
+
+    def _complete(self, status: str, value: Any) -> None:
+        self.status = status
+        self.value = value
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The handler's return value; raises on worker error/death."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"task {self.kind!r} still pending")
+        if self.status == "ok":
+            return self.value
+        if self.status == "worker-died":
+            raise WorkerDied(
+                f"worker died running {self.kind!r} task "
+                f"(after {self.attempts} attempt(s))")
+        err = self.value or {}
+        raise WorkerError(err.get("type", "Exception"),
+                          err.get("message", ""),
+                          err.get("traceback", ""))
+
+
+class _Slot:
+    """One worker process plus the pipe its supervisor thread drives."""
+
+    __slots__ = ("index", "proc", "conn", "respawns")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.proc = None
+        self.conn = None
+        self.respawns = 0
+
+
+class WorkerPool:
+    """N worker processes, each driven by a supervisor thread.
+
+    ``workers=0`` selects *inline* mode: tasks run synchronously in the
+    calling process (no subprocesses at all) — handy for tests, for
+    single-shot CLI paths, and for coverage measurement.
+    """
+
+    def __init__(self, workers: Optional[int] = None, max_retries: int = 1,
+                 poll_s: float = 0.05):
+        if workers is None:
+            workers = min(4, os.cpu_count() or 1)
+        self.workers = workers
+        self.max_retries = max_retries
+        self._poll_s = poll_s
+        self._ctx = _mp_context()
+        self._pending: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._closed = False
+        self._slots: List[_Slot] = []
+        self._threads: List[threading.Thread] = []
+        for i in range(workers):
+            slot = _Slot(i)
+            self._spawn(slot)
+            self._slots.append(slot)
+            t = threading.Thread(target=self._drive, args=(slot,),
+                                 name=f"repro-serve-supervisor-{i}",
+                                 daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn(self, slot: _Slot) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, os.environ.get(COVERAGE_ENV)),
+            name=f"repro-serve-worker-{slot.index}", daemon=True)
+        proc.start()
+        child_conn.close()
+        slot.proc = proc
+        slot.conn = parent_conn
+
+    def _respawn(self, slot: _Slot) -> None:
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if slot.proc.is_alive():
+            slot.proc.terminate()
+        slot.proc.join(timeout=5)
+        slot.respawns += 1
+        self._spawn(slot)
+
+    def close(self) -> None:
+        """Drain-free shutdown: stop every worker, join every thread."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._slots:
+            self._pending.put(_STOP)
+        for t in self._threads:
+            t.join(timeout=10)
+        for slot in self._slots:
+            if slot.proc is not None and slot.proc.is_alive():
+                slot.proc.terminate()
+                slot.proc.join(timeout=5)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission --------------------------------------------------------
+
+    @property
+    def inline(self) -> bool:
+        return self.workers == 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Tasks submitted but not yet completed (queued + in flight)."""
+        with self._lock:
+            return self._pending.qsize() + self._inflight
+
+    @property
+    def respawns(self) -> int:
+        """Total worker respawns since the pool started (chaos metric)."""
+        return sum(slot.respawns for slot in self._slots)
+
+    def submit(self, kind: str, payload: Dict[str, Any]) -> _Task:
+        if kind not in HANDLERS:
+            raise ValueError(f"unknown task kind {kind!r}; "
+                             f"expected one of {sorted(HANDLERS)}")
+        task = _Task(kind, payload)
+        if self.inline:
+            try:
+                task._complete("ok", HANDLERS[kind](payload))
+            except BaseException as exc:
+                task._complete("error", {
+                    "type": type(exc).__name__, "message": str(exc),
+                    "traceback": traceback.format_exc(limit=8)})
+            return task
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._pending.put(task)
+        return task
+
+    def map(self, kind: str,
+            payloads: Iterable[Dict[str, Any]]) -> List[_Task]:
+        """Submit every payload; returns the tasks in submission order."""
+        return [self.submit(kind, p) for p in payloads]
+
+    # -- supervisor --------------------------------------------------------
+
+    def _drive(self, slot: _Slot) -> None:
+        while True:
+            task = self._pending.get()
+            if task is _STOP:
+                self._stop_worker(slot)
+                return
+            with self._lock:
+                self._inflight += 1
+            try:
+                self._run_task(slot, task)
+            finally:
+                with self._lock:
+                    self._inflight -= 1
+
+    def _run_task(self, slot: _Slot, task: _Task) -> None:
+        while True:
+            task.attempts += 1
+            sent = True
+            try:
+                slot.conn.send((task.kind, task.payload))
+            except (BrokenPipeError, OSError):
+                sent = False
+            if sent:
+                outcome = self._await(slot)
+                if outcome is not None:
+                    status, value = outcome
+                    task._complete(status, value)
+                    return
+            # The worker died under (or before) this task: respawn it,
+            # then retry the task or fail it with a structured error.
+            self._respawn(slot)
+            if task.attempts > self.max_retries:
+                task._complete("worker-died", {
+                    "type": "WorkerDied",
+                    "message": (f"worker died running {task.kind!r} "
+                                f"(attempts={task.attempts})"),
+                })
+                return
+
+    def _await(self, slot: _Slot) -> Optional[Tuple[str, Any]]:
+        """The worker's reply, or ``None`` if it died mid-task."""
+        while True:
+            try:
+                if slot.conn.poll(self._poll_s):
+                    return slot.conn.recv()
+            except (EOFError, OSError):
+                return None
+            if not slot.proc.is_alive():
+                # One last drain: the reply may have landed in the pipe
+                # just before death.
+                try:
+                    if slot.conn.poll(0):
+                        return slot.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                return None
+
+    def _stop_worker(self, slot: _Slot) -> None:
+        try:
+            slot.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        slot.proc.join(timeout=5)
+        if slot.proc.is_alive():
+            slot.proc.terminate()
+            slot.proc.join(timeout=5)
+        try:
+            slot.conn.close()
+        except OSError:
+            pass

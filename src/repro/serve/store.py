@@ -1,0 +1,254 @@
+"""On-disk content-addressed artifact store for the compile service.
+
+Every compile the service performs is keyed by :func:`cache_key`, a
+SHA-256 over a canonical JSON rendering of
+
+* the *normalized* kernel source — parsed and re-printed, so whitespace
+  and comment edits hash identically while any semantic edit perturbs
+  the key;
+* the size bindings and output domain;
+* every :class:`repro.machine.GpuSpec` parameter of the target machine;
+* every :class:`repro.compiler.CompileOptions` field
+  (:meth:`~repro.compiler.CompileOptions.fingerprint`);
+* the repro package version and the store layout version.
+
+Entries live under ``<root>/<key[:2]>/<key>.<kind>.json`` as a small
+wrapper object carrying the payload plus its own SHA-256 checksum.
+Writes are atomic (tempfile in the same directory + ``os.replace``), so
+a killed worker or a torn write can never leave a *partial* entry — and
+a corrupt entry (truncation, bit flip, bad JSON, checksum mismatch) is
+detected on load, evicted, and reported as a ``cache.corrupt`` event;
+the caller simply recompiles.  The store never crashes on bad bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Tuple, Union
+
+import repro
+from repro.compiler import CompileOptions
+from repro.machine import GpuSpec
+
+#: Bump when the entry layout or the key derivation changes: old stores
+#: simply miss (the version participates in the hash), never misparse.
+STORE_VERSION = 1
+
+#: Artifact kinds one key can hold (compile result, profile run).
+ARTIFACT_KINDS = ("compile", "profile")
+
+
+def normalize_source(source: str) -> str:
+    """Canonical source text: parse + re-print when possible.
+
+    The printer emits one canonical layout, so whitespace and comments
+    never reach the hash.  Source that does not parse is hashed verbatim
+    (it will fail compilation identically every time, and two distinct
+    broken sources must not collide).
+    """
+    from repro.lang.parser import parse_kernel
+    from repro.lang.printer import print_kernel
+    try:
+        return print_kernel(parse_kernel(source))
+    except Exception:
+        return source
+
+
+def machine_fingerprint(machine: GpuSpec) -> Dict[str, object]:
+    """Every architecture parameter, JSON-ready (int dict keys become
+    strings under ``json.dumps``; sorted for stability)."""
+    out = dataclasses.asdict(machine)
+    out["vector_bandwidth_gain"] = {
+        str(k): v for k, v in sorted(out["vector_bandwidth_gain"].items())}
+    return out
+
+
+def cache_key(source: str,
+              sizes: Dict[str, int],
+              domain: Tuple[int, int],
+              machine: GpuSpec,
+              options: Optional[CompileOptions] = None,
+              extra: Optional[Dict[str, object]] = None) -> str:
+    """The content hash identifying one compile (hex SHA-256)."""
+    options = options or CompileOptions()
+    identity = {
+        "store_version": STORE_VERSION,
+        "repro_version": repro.__version__,
+        "source": normalize_source(source),
+        "sizes": {str(k): int(v) for k, v in sorted(sizes.items())},
+        "domain": [int(domain[0]), int(domain[1])],
+        "machine": machine_fingerprint(machine),
+        "options": options.fingerprint(),
+        "extra": dict(extra or {}),
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _payload_checksum(payload_text: str) -> str:
+    return hashlib.sha256(payload_text.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Lifetime counters of one :class:`ArtifactStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ArtifactStore:
+    """Content-addressed on-disk artifact store (see module docstring).
+
+    Not thread-safe by itself for the *counters*; the service serializes
+    access.  The on-disk format is multi-process safe: writers only ever
+    ``os.replace`` complete files, and two writers racing on the same
+    key write byte-identical content (the key is the content address of
+    a deterministic compile).
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.stats = StoreStats()
+        #: ``cache.corrupt`` (and future) event records, oldest first.
+        self.events: List[Dict[str, object]] = []
+
+    # -- paths -------------------------------------------------------------
+
+    def path_for(self, key: str, kind: str = "compile") -> str:
+        if kind not in ARTIFACT_KINDS:
+            raise ValueError(f"unknown artifact kind {kind!r}; "
+                             f"expected one of {ARTIFACT_KINDS}")
+        return os.path.join(self.root, key[:2], f"{key}.{kind}.json")
+
+    # -- read side ---------------------------------------------------------
+
+    def get(self, key: str, kind: str = "compile"
+            ) -> Optional[Dict[str, object]]:
+        """The stored payload for ``key``, or ``None`` on miss.
+
+        A corrupt entry — unreadable, truncated, bit-flipped, bad JSON,
+        wrong wrapper shape, or checksum mismatch — is evicted and
+        recorded as a ``cache.corrupt`` event; the caller sees a miss.
+        """
+        path = self.path_for(key, kind)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                wrapper = json.load(f)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
+            self._evict_corrupt(key, kind, path,
+                                f"unreadable entry: {exc}")
+            return None
+        payload = None
+        reason = None
+        if not isinstance(wrapper, dict):
+            reason = "wrapper is not an object"
+        elif wrapper.get("store_version") != STORE_VERSION:
+            reason = (f"store_version "
+                      f"{wrapper.get('store_version')!r} != {STORE_VERSION}")
+        elif "payload" not in wrapper or "checksum" not in wrapper:
+            reason = "wrapper is missing payload/checksum"
+        else:
+            payload = wrapper["payload"]
+            text = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":"))
+            if _payload_checksum(text) != wrapper["checksum"]:
+                reason = "checksum mismatch (bit flip?)"
+                payload = None
+        if reason is not None:
+            self._evict_corrupt(key, kind, path, reason)
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def _evict_corrupt(self, key: str, kind: str, path: str,
+                       reason: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        self.events.append({"event": "cache.corrupt", "key": key,
+                            "kind": kind, "reason": reason})
+
+    # -- write side --------------------------------------------------------
+
+    def put(self, key: str, payload: Dict[str, object],
+            kind: str = "compile") -> str:
+        """Atomically persist ``payload`` under ``key``; returns the path.
+
+        The wrapper is written to a tempfile in the destination
+        directory and ``os.replace``d into place, so readers only ever
+        see complete entries.
+        """
+        path = self.path_for(key, kind)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        wrapper = {
+            "store_version": STORE_VERSION,
+            "key": key,
+            "kind": kind,
+            "checksum": _payload_checksum(text),
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(prefix=f".{key[:8]}.",
+                                   dir=os.path.dirname(path))
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(wrapper, f, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def delete(self, key: str, kind: str = "compile") -> bool:
+        try:
+            os.unlink(self.path_for(key, kind))
+            return True
+        except FileNotFoundError:
+            return False
+
+    # -- introspection -----------------------------------------------------
+
+    def keys(self) -> List[Tuple[str, str]]:
+        """Every ``(key, kind)`` currently on disk, sorted."""
+        found = []
+        for dirpath, _dirs, files in os.walk(self.root):
+            for name in files:
+                if not name.endswith(".json") or name.startswith("."):
+                    continue
+                stem = name[:-len(".json")]
+                key, _, kind = stem.partition(".")
+                if kind in ARTIFACT_KINDS:
+                    found.append((key, kind))
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def verify_all(self) -> List[Dict[str, object]]:
+        """Load-check every entry; returns the corrupt-event records of
+        any entries evicted by the sweep (empty = store fully intact)."""
+        before = len(self.events)
+        for key, kind in self.keys():
+            self.get(key, kind)
+        return self.events[before:]

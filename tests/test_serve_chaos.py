@@ -1,0 +1,186 @@
+"""Chaos battery for the compile service (ISSUE 8 satellite c).
+
+Two failure axes, crossed:
+
+* **in-worker faults** — every ``kind:site`` pair of the PR 5 fault
+  matrix is injected through the request's ``options.faults`` spec; the
+  resilient pipeline must degrade to the floor compile (HTTP 200 with a
+  ``dropped_sites`` record) or return a clean structured error — never a
+  crash, never a partial store entry;
+* **worker death** — a worker is SIGKILLed mid-task; the supervisor
+  respawns it and retries, the service answers subsequent requests, and
+  a death that exhausts retries surfaces as a structured ``WorkerDied``
+  error (HTTP 500), not a hang.
+
+After every scenario: ``store.verify_all()`` proves zero corrupt
+entries, and a plain follow-up request succeeds.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.resilience.faults import FAULT_KINDS, FAULT_SITES
+from repro.serve.daemon import CompileService
+from repro.serve.pool import WorkerDied, WorkerPool
+from repro.serve.store import ArtifactStore
+
+from tests.conftest import MM_SRC, TP_SRC
+
+MM_REQUEST = {"source": MM_SRC, "sizes": {"n": 32, "m": 32, "w": 32},
+              "domain": [32, 32]}
+TP_REQUEST = {"source": TP_SRC, "sizes": {"n": 32, "m": 32},
+              "domain": [32, 32]}
+
+# 'corrupt' faults silently damage the kernel; only the validating
+# recompiler can see that, so the corrupt column runs with
+# options.validate on (exactly how a hardened deployment would).
+EXTRA_OPTIONS = {"corrupt": {"validate": True}}
+
+
+@pytest.fixture(scope="module")
+def chaos_service(tmp_path_factory):
+    store = ArtifactStore(tmp_path_factory.mktemp("chaos_store"))
+    svc = CompileService(store, pool=WorkerPool(2))
+    try:
+        yield svc
+    finally:
+        svc.close()
+
+
+def _assert_intact_and_responsive(svc, request=TP_REQUEST):
+    assert svc.store.verify_all() == [], "corrupt entries left behind"
+    payload, status = svc.handle_compile(request)
+    assert payload["ok"] is True
+    assert status in ("hit", "miss")
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("site", FAULT_SITES)
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_injected_fault_degrades_cleanly(self, chaos_service,
+                                             kind, site):
+        svc = chaos_service
+        options = {"faults": f"{kind}:{site}",
+                   **EXTRA_OPTIONS.get(kind, {})}
+        payload, status = svc.handle_compile(
+            dict(MM_REQUEST, options=options))
+        if payload["ok"]:
+            # Resilient degrade: the faulted site was rolled back (or
+            # never armed on this kernel) and the compile completed.
+            assert status in ("hit", "miss")
+            resilience = payload["resilience"]
+            assert resilience is not None
+            if site in resilience["dropped_sites"]:
+                assert payload["result"]["source"]
+        else:
+            # Clean structured error, never a traceback-shaped crash.
+            assert status == "error"
+            assert payload["error"]["type"]
+            assert payload["error"]["message"]
+        _assert_intact_and_responsive(svc)
+
+    def test_everything_faulted_still_compiles(self, chaos_service):
+        svc = chaos_service
+        spec = ",".join(f"raise:{site}" for site in FAULT_SITES)
+        payload, _ = svc.handle_compile(
+            dict(MM_REQUEST, options={"faults": spec}))
+        # With every optimization site raising, the resilience ladder
+        # bottoms out at the all-off floor compile.
+        assert payload["ok"] is True
+        assert payload["resilience"]["dropped_sites"]
+        _assert_intact_and_responsive(svc)
+
+    def test_faulted_artifacts_do_not_alias_clean_ones(self, chaos_service):
+        svc = chaos_service
+        clean, _ = svc.handle_compile(MM_REQUEST)
+        faulted, _ = svc.handle_compile(
+            dict(MM_REQUEST, options={"faults": "raise:coalesce"}))
+        assert clean["key"] != faulted["key"]
+
+
+class TestWorkerDeath:
+    def _kill_marked_worker(self, marker, timeout=30.0):
+        """SIGKILL the pid the sleeping chaos task wrote to ``marker``."""
+        deadline = time.time() + timeout
+        while not os.path.exists(marker):
+            assert time.time() < deadline, "worker never started the task"
+            time.sleep(0.01)
+        time.sleep(0.05)          # let the worker enter its sleep
+        os.kill(int(open(marker).read()), signal.SIGKILL)
+
+    def test_sigkill_mid_task_respawns_and_retries(self, tmp_path):
+        with WorkerPool(1) as pool:
+            marker = str(tmp_path / "victim.pid")
+            task = pool.submit("sleep", {"marker": marker, "sleep_s": 60})
+            self._kill_marked_worker(marker)
+            # The retry (after respawn) sees the marker and returns
+            # immediately; the 60s sleep never completes.
+            out = task.result(timeout=30)
+            assert out["status"] == "slept"
+            assert out["pid"] != int(open(marker).read())
+            assert pool.respawns == 1
+
+    def test_sigkill_mid_compile_service_stays_up(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        svc = CompileService(store, pool=WorkerPool(2))
+        try:
+            marker = str(tmp_path / "victim.pid")
+            hostage = svc.pool.submit("sleep", {"marker": marker,
+                                                "sleep_s": 60})
+            self._kill_marked_worker(marker)
+            # While the supervisor respawns the dead worker, the other
+            # worker keeps serving compiles.
+            payload, status = svc.handle_compile(MM_REQUEST)
+            assert payload["ok"] is True and status == "miss"
+            assert hostage.result(timeout=30)["status"] == "slept"
+            assert svc.pool.respawns == 1
+            assert svc.stats()["worker_respawns"] == 1
+            _assert_intact_and_responsive(svc)
+        finally:
+            svc.close()
+
+    def test_repeated_death_becomes_structured_error(self, tmp_path):
+        # No marker: the task sleeps forever on every attempt, so every
+        # retry's worker gets killed too — the task must surface as
+        # WorkerDied, not hang, and the pool must stay usable.
+        with WorkerPool(1, max_retries=1) as pool:
+            task = pool.submit("sleep", {"sleep_s": 120})
+            for _ in range(pool.max_retries + 1):
+                slot = pool._slots[0]
+                pid = slot.proc.pid
+                deadline = time.time() + 30
+                while pool.queue_depth == 0 or not slot.proc.is_alive():
+                    assert time.time() < deadline
+                    time.sleep(0.01)
+                time.sleep(0.1)
+                os.kill(slot.proc.pid, signal.SIGKILL)
+                while slot.proc.pid == pid and time.time() < deadline:
+                    time.sleep(0.01)
+            with pytest.raises(WorkerDied):
+                task.result(timeout=30)
+            assert task.attempts == pool.max_retries + 1
+            # The respawned worker still serves new tasks.
+            assert pool.submit("sleep", {"sleep_s": 0}).result(
+                timeout=30)["status"] == "slept"
+
+    def test_worker_died_is_not_cached(self, tmp_path):
+        # A WorkerDied artifact must never enter the store: the next
+        # identical request recompiles and succeeds.
+        store = ArtifactStore(tmp_path / "store")
+        svc = CompileService(store, pool=WorkerPool(1, max_retries=0))
+        try:
+            marker = str(tmp_path / "victim.pid")
+            # Occupy the lone worker, kill it: with max_retries=0 the
+            # hostage task dies immediately.
+            hostage = svc.pool.submit("sleep", {"marker": marker,
+                                                "sleep_s": 60})
+            self._kill_marked_worker(marker)
+            with pytest.raises(WorkerDied):
+                hostage.result(timeout=30)
+            assert len(svc.store) == 0
+            _assert_intact_and_responsive(svc, MM_REQUEST)
+        finally:
+            svc.close()

@@ -57,13 +57,38 @@ def executable_lines(path: str) -> set:
     return lines
 
 
+def _merge_worker_dumps(cov_dir: str) -> None:
+    """Fold per-worker line dumps (repro.serve.pool workers write one
+    JSON each on exit) into the parent's hit sets, so code that only
+    runs inside pool subprocesses still counts toward the floor."""
+    import json
+    for name in os.listdir(cov_dir):
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(cov_dir, name)) as f:
+                dump = json.load(f)
+        except (OSError, ValueError):
+            continue
+        for path, lines in dump.items():
+            if path.startswith(SRC):
+                _hits.setdefault(path, set()).update(lines)
+
+
 def main(argv) -> int:
+    import tempfile
+    # Workers of repro.serve.pool trace themselves into this directory
+    # (see COVERAGE_ENV); without it every serve/ line that only runs in
+    # a subprocess would look uncovered.
+    cov_dir = tempfile.mkdtemp(prefix="repro-cov-")
+    os.environ.setdefault("REPRO_COVERAGE_DIR", cov_dir)
     sys.settrace(_global_trace)
     threading.settrace(_global_trace)
     import pytest
     code = pytest.main(["-q", "-p", "no:cacheprovider"] + argv)
     sys.settrace(None)
     threading.settrace(None)
+    _merge_worker_dumps(os.environ["REPRO_COVERAGE_DIR"])
     if code not in (0, None):
         print(f"warning: pytest exited {code}; coverage below reflects "
               f"a failing run", file=sys.stderr)

@@ -1,0 +1,109 @@
+"""End-to-end smoke of ``python -m repro serve`` as a real subprocess.
+
+Boots the daemon on an ephemeral port with a throwaway store, POSTs the
+same kernel twice (expecting a cold miss then a warm hit with
+byte-identical bodies), checks ``/stats`` and ``/healthz``, and shuts
+the daemon down cleanly.  Exit code 0 means the full wire path — argv
+parsing, socket bind, worker pool, artifact store, JSON envelopes —
+works outside the test harness.  CI runs this as its "serve smoke"
+step.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import urllib.request
+
+KERNEL = """
+__global__ void tp(float a[m][n], float c[n][m], int n, int m) {
+    c[idy][idx] = a[idx][idy];
+}
+"""
+
+
+def _post(base: str, body: dict):
+    req = urllib.request.Request(
+        base + "/compile", data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=120) as resp:
+        return resp.status, resp.headers.get("X-Repro-Cache"), resp.read()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    store = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store", store, "--workers", str(args.workers)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    try:
+        announce = proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", announce)
+        if not match:
+            print(f"FAIL: bad announce line {announce!r}")
+            return 1
+        base = f"http://{match.group(1)}:{match.group(2)}"
+        request = {"source": KERNEL, "sizes": {"n": 64, "m": 64},
+                   "domain": "64x64"}
+
+        status1, cache1, body1 = _post(base, request)
+        status2, cache2, body2 = _post(base, request)
+        checks = [
+            ("cold request 200", status1 == 200),
+            ("cold is a miss", cache1 == "miss"),
+            ("warm request 200", status2 == 200),
+            ("warm is a hit", cache2 == "hit"),
+            ("bodies bit-identical", body1 == body2),
+        ]
+        payload = json.loads(body1)
+        checks.append(("serve/1 envelope",
+                       payload.get("schema") == "repro.serve/1"))
+        checks.append(("compile ok", payload.get("ok") is True))
+
+        with urllib.request.urlopen(base + "/healthz", timeout=30) as resp:
+            checks.append(("healthz ok",
+                           json.loads(resp.read()) == {"ok": True}))
+        with urllib.request.urlopen(base + "/stats", timeout=30) as resp:
+            stats = json.loads(resp.read())
+        counters = stats.get("counters", {})
+        checks.append(("one compile", counters.get("compiles") == 1))
+        checks.append(("one hit", counters.get("hits") >= 1))
+        checks.append(("no errors", counters.get("errors") == 0))
+        checks.append(("no corrupt entries",
+                       counters.get("corrupt_evictions") == 0))
+
+        failed = [name for name, ok in checks if not ok]
+        for name, ok in checks:
+            print(f"  {'ok' if ok else 'FAIL'}  {name}")
+        if failed:
+            print(f"serve smoke: FAILED ({', '.join(failed)})")
+            return 1
+        print(f"serve smoke: all {len(checks)} checks passed ({base})")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
