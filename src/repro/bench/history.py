@@ -1,0 +1,99 @@
+"""Benchmark-trajectory history: an append-only JSONL of gate runs.
+
+Every ``python -m repro bench-check`` invocation appends one
+``repro.bench-history/1`` envelope per record it checked to
+``results/bench_history.jsonl`` — the repo's performance trajectory as
+a committed, queryable artifact.  ``tools/bench_history.py`` renders
+the tail and a per-record summary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.envelope import make_envelope, validate_envelope
+
+#: Envelope schema tag for one history line.
+HISTORY_SCHEMA = "repro.bench-history/1"
+
+#: Default history file, relative to the working directory (repo root
+#: in CI and in normal developer use).
+DEFAULT_HISTORY = os.path.join("results", "bench_history.jsonl")
+
+
+def append_run(path: str, record_schema: str, status: str,
+               tracked: Dict[str, float], *,
+               tolerance: float, quick: bool,
+               failures: Optional[List[str]] = None) -> Dict[str, object]:
+    """Append one gate-run line for one checked record; returns it.
+
+    ``tracked`` maps ratio names (``mm.speedup``, ``explore.speedup``)
+    to the freshly measured values, so later runs can plot the
+    trajectory without re-parsing full bench envelopes.
+    """
+    entry = make_envelope(
+        HISTORY_SCHEMA,
+        t_unix=round(time.time(), 3),
+        record=record_schema,
+        status=status,
+        tolerance=tolerance,
+        quick=bool(quick),
+        tracked={k: (round(v, 6) if isinstance(v, float) else v)
+                 for k, v in sorted(tracked.items())},
+        failures=list(failures or []),
+    )
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fp:
+        fp.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def read_history(path: str) -> List[Dict[str, object]]:
+    """Every valid history line, oldest first (malformed lines are
+    skipped — an interrupted append must not poison the trajectory)."""
+    entries: List[Dict[str, object]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            lines = fp.readlines()
+    except FileNotFoundError:
+        return entries
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+            validate_envelope(obj, HISTORY_SCHEMA,
+                              required=("record", "status", "tracked"))
+        except Exception:
+            continue
+        entries.append(obj)
+    return entries
+
+
+def summarize(entries: List[Dict[str, object]]) -> Dict[str, object]:
+    """Per-record trajectory: run counts, last status, and first/last/
+    min/max of every tracked ratio."""
+    by_record: Dict[str, Dict[str, object]] = {}
+    for entry in entries:
+        record = str(entry.get("record"))
+        summary = by_record.setdefault(record, {
+            "runs": 0, "failed_runs": 0, "last_status": None,
+            "tracked": {}})
+        summary["runs"] += 1
+        if entry.get("status") != "ok":
+            summary["failed_runs"] += 1
+        summary["last_status"] = entry.get("status")
+        for name, value in (entry.get("tracked") or {}).items():
+            if not isinstance(value, (int, float)):
+                continue
+            track = summary["tracked"].setdefault(
+                name, {"first": value, "last": value,
+                       "min": value, "max": value})
+            track["last"] = value
+            track["min"] = min(track["min"], value)
+            track["max"] = max(track["max"], value)
+    return {"entries": len(entries), "records": by_record}

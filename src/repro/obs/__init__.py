@@ -1,6 +1,6 @@
-"""Observability layer: structured traces, dynamic profiles, drift reports.
+"""Observability layer: structured traces, profiles, metrics, reports.
 
-Three cooperating pieces (see README "Observability"):
+Cooperating pieces (see README "Observability"):
 
 * :mod:`repro.obs.envelope` — the one JSON envelope convention every CLI
   subcommand and benchmark record uses (``repro.<tool>/<version>``);
@@ -10,10 +10,21 @@ Three cooperating pieces (see README "Observability"):
   a rendered *view* of the decision events);
 * :mod:`repro.obs.profile` — dynamic hardware counters collected by both
   simulator backends (``repro.profile/1``), cross-validated against the
-  static cost model by :mod:`repro.obs.report`.
+  static cost model by :mod:`repro.obs.report`;
+* :mod:`repro.obs.metrics` — the dependency-free counter/gauge/histogram
+  registry behind the compile service's ``/metrics`` endpoint
+  (Prometheus text exposition + ``repro.metrics/1`` envelope);
+* :mod:`repro.obs.propagate` — cross-process trace-id propagation and
+  the per-actor trace-file collector the service writes into;
+* :mod:`repro.obs.traceview` — ``python -m repro trace-view``, the
+  merged span-tree renderer over collected trace files.
 """
 
 from repro.obs.envelope import EnvelopeError, make_envelope, validate_envelope
+from repro.obs.metrics import (METRICS_SCHEMA, MetricsError, MetricsRegistry,
+                               parse_prometheus)
+from repro.obs.propagate import (TRACE_HEADER, TraceCollector, TraceContext,
+                                 mint_trace_id, valid_trace_id)
 from repro.obs.trace import TraceEvent, Tracer, TRACE_SCHEMA
 
 __all__ = [
@@ -23,4 +34,13 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "TRACE_SCHEMA",
+    "METRICS_SCHEMA",
+    "MetricsError",
+    "MetricsRegistry",
+    "parse_prometheus",
+    "TRACE_HEADER",
+    "TraceCollector",
+    "TraceContext",
+    "mint_trace_id",
+    "valid_trace_id",
 ]

@@ -29,6 +29,8 @@ KNOWN_SCHEMAS = (
     "repro.resilience/1",
     "repro.serve/1",
     "repro.bench-serve/1",
+    "repro.metrics/1",
+    "repro.bench-history/1",
 )
 
 _SCHEMA_RE = re.compile(r"^repro\.[a-z][a-z0-9-]*/[0-9]+$")

@@ -1,0 +1,525 @@
+"""Dependency-free metrics: counters, gauges, fixed-bucket histograms.
+
+The compile service (and any long-running repro process) records its
+operational state into a :class:`MetricsRegistry` — a thread-safe,
+label-aware registry of three instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals (requests served,
+  cache hits, worker respawns);
+* :class:`Gauge` — point-in-time values, either set explicitly or
+  computed at snapshot time from a callback (queue depth, bytes on
+  disk);
+* :class:`Histogram` — fixed-bucket latency/size distributions with
+  cumulative bucket counts, a running sum, and a count (request
+  latency split by cache verdict, pool queue wait, compile duration).
+
+One registry, one lock: every mutation and every snapshot takes the
+same re-entrant lock, so a snapshot is always internally consistent —
+``/stats`` and ``/metrics`` render the *same* snapshot and can never
+disagree.  Producers that bump several counters for one logical event
+group them under :meth:`MetricsRegistry.hold` so no snapshot can
+observe the event half-recorded.
+
+Two renderings of a snapshot:
+
+* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (``text/plain; version=0.0.4``), deterministic
+  (families sorted by name, series by label values) so identical
+  states render byte-identically; :func:`parse_prometheus` is the
+  matching strict parser the tests and the serve smoke use;
+* :meth:`MetricsRegistry.to_envelope` — a versioned ``repro.metrics/1``
+  JSON envelope for artifacts and the daemon's final shutdown flush.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.envelope import make_envelope
+
+#: Envelope schema tag for serialized metric snapshots.
+METRICS_SCHEMA = "repro.metrics/1"
+
+#: Default histogram bucket upper bounds, in seconds: spans a ~1 ms warm
+#: cache hit through a multi-second cold resilient compile.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Per-metric label-set cap: a label explosion (e.g. a key or trace id
+#: used as a label value) is a bug, caught at the producer.
+MAX_SERIES = 256
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricsError(ValueError):
+    """Misuse of the registry (bad name, kind clash, label mismatch)."""
+
+
+def _fmt_value(value: float) -> str:
+    """Deterministic sample rendering: integral floats print as ints."""
+    if value != value:                   # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_le(bound: float) -> str:
+    return "+Inf" if bound == math.inf else _fmt_value(bound)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _render_labels(labelnames: Sequence[str], labelvalues: Sequence[str],
+                   extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(zip(labelnames, labelvalues)) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class _Series:
+    """One (metric, label-values) cell."""
+
+    __slots__ = ("labelvalues", "value", "fn", "buckets", "sum", "count")
+
+    def __init__(self, labelvalues: Tuple[str, ...],
+                 nbuckets: int = 0):
+        self.labelvalues = labelvalues
+        self.value = 0.0
+        self.fn: Optional[Callable[[], float]] = None
+        self.buckets = [0] * nbuckets     # per-bucket (non-cumulative)
+        self.sum = 0.0
+        self.count = 0
+
+
+class _Instrument:
+    """Handle for one series of one metric (what call sites hold)."""
+
+    __slots__ = ("_metric", "_series")
+
+    def __init__(self, metric: "Metric", series: _Series):
+        self._metric = metric
+        self._series = series
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._metric.kind != "counter":
+            raise MetricsError(
+                f"{self._metric.name}: inc() is counter-only")
+        if amount < 0:
+            raise MetricsError(
+                f"{self._metric.name}: counters only go up")
+        with self._metric._lock:
+            self._series.value += amount
+
+    def set(self, value: float) -> None:
+        if self._metric.kind != "gauge":
+            raise MetricsError(
+                f"{self._metric.name}: set() is gauge-only")
+        with self._metric._lock:
+            self._series.value = float(value)
+            self._series.fn = None
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Gauge value computed at snapshot time (must not re-enter the
+        registry)."""
+        if self._metric.kind != "gauge":
+            raise MetricsError(
+                f"{self._metric.name}: set_function() is gauge-only")
+        with self._metric._lock:
+            self._series.fn = fn
+
+    def observe(self, value: float) -> None:
+        if self._metric.kind != "histogram":
+            raise MetricsError(
+                f"{self._metric.name}: observe() is histogram-only")
+        value = float(value)
+        with self._metric._lock:
+            series = self._series
+            series.sum += value
+            series.count += 1
+            for i, bound in enumerate(self._metric.buckets):
+                if value <= bound:
+                    series.buckets[i] += 1
+                    break
+
+    @property
+    def value(self) -> float:
+        with self._metric._lock:
+            return self._series.value
+
+
+class Metric:
+    """One named metric family: a kind, labelnames, and its series."""
+
+    def __init__(self, registry: "MetricsRegistry", kind: str, name: str,
+                 help: str, labelnames: Tuple[str, ...],
+                 buckets: Tuple[float, ...] = (),
+                 max_series: int = MAX_SERIES):
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self.max_series = max_series
+        # Histogram buckets always end with +Inf.
+        self.buckets: Tuple[float, ...] = ()
+        if kind == "histogram":
+            bounds = tuple(sorted(float(b) for b in buckets))
+            if not bounds:
+                raise MetricsError(f"{name}: histogram needs buckets")
+            if len(set(bounds)) != len(bounds):
+                raise MetricsError(f"{name}: duplicate bucket bounds")
+            if bounds[-1] != math.inf:
+                bounds = bounds + (math.inf,)
+            self.buckets = bounds
+        self._lock = registry._lock
+        self._series: Dict[Tuple[str, ...], _Series] = {}
+
+    def labels(self, **labelvalues: str) -> _Instrument:
+        """The instrument for one label combination (created on first
+        use; capped at ``max_series`` distinct combinations)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricsError(
+                f"{self.name}: expected labels {list(self.labelnames)}, "
+                f"got {sorted(labelvalues)}")
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                if len(self._series) >= self.max_series:
+                    raise MetricsError(
+                        f"{self.name}: label cardinality exceeded "
+                        f"({self.max_series} series); a label value is "
+                        f"probably unbounded")
+                series = _Series(key, nbuckets=len(self.buckets))
+                self._series[key] = series
+            return _Instrument(self, series)
+
+    # Convenience: 0-label metrics proxy straight to their one series.
+    def _default(self) -> _Instrument:
+        if self.labelnames:
+            raise MetricsError(
+                f"{self.name}: has labels {list(self.labelnames)}; "
+                f"use .labels(...)")
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._default().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class MetricsRegistry:
+    """Thread-safe registry of metrics (see module docstring)."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def _get_or_create(self, kind: str, name: str, help: str,
+                       labelnames: Iterable[str],
+                       buckets: Tuple[float, ...] = (),
+                       max_series: int = MAX_SERIES) -> Metric:
+        if not _NAME_RE.match(name):
+            raise MetricsError(f"bad metric name {name!r}")
+        names = tuple(labelnames)
+        for label in names:
+            if not _LABEL_RE.match(label):
+                raise MetricsError(f"{name}: bad label name {label!r}")
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != names:
+                    raise MetricsError(
+                        f"{name}: already registered as {existing.kind}"
+                        f"{list(existing.labelnames)}; cannot re-register "
+                        f"as {kind}{list(names)}")
+                return existing
+            metric = Metric(self, kind, name, help, names, buckets,
+                            max_series)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Iterable[str] = (),
+                max_series: int = MAX_SERIES) -> Metric:
+        return self._get_or_create("counter", name, help, labelnames,
+                                   max_series=max_series)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Iterable[str] = (),
+              max_series: int = MAX_SERIES) -> Metric:
+        return self._get_or_create("gauge", name, help, labelnames,
+                                   max_series=max_series)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Iterable[str] = (),
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                  max_series: int = MAX_SERIES) -> Metric:
+        return self._get_or_create("histogram", name, help, labelnames,
+                                   buckets=buckets, max_series=max_series)
+
+    def hold(self):
+        """Context manager grouping several updates into one atomic unit
+        with respect to :meth:`snapshot` (it is the registry lock)."""
+        return self._lock
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """An atomic, JSON-ready copy of every metric.
+
+        Gauge callbacks are evaluated here, inside the lock, so the
+        whole snapshot is one consistent cut.
+        """
+        with self._lock:
+            out: Dict[str, Dict[str, object]] = {}
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                series_out: List[Dict[str, object]] = []
+                for key in sorted(metric._series):
+                    series = metric._series[key]
+                    labels = dict(zip(metric.labelnames, key))
+                    if metric.kind == "histogram":
+                        cumulative: Dict[str, int] = {}
+                        running = 0
+                        for bound, n in zip(metric.buckets,
+                                            series.buckets):
+                            running += n
+                            cumulative[_fmt_le(bound)] = running
+                        series_out.append({
+                            "labels": labels,
+                            "buckets": cumulative,
+                            "sum": series.sum,
+                            "count": series.count,
+                        })
+                    else:
+                        value = series.value
+                        if series.fn is not None:
+                            value = float(series.fn())
+                        series_out.append({"labels": labels,
+                                           "value": value})
+                out[name] = {
+                    "type": metric.kind,
+                    "help": metric.help,
+                    "labelnames": list(metric.labelnames),
+                    "series": series_out,
+                }
+            return out
+
+    # -- renderings ----------------------------------------------------------
+
+    def render_prometheus(self,
+                          snapshot: Optional[Dict[str, Dict[str, object]]]
+                          = None) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        snap = snapshot if snapshot is not None else self.snapshot()
+        lines: List[str] = []
+        for name in sorted(snap):
+            family = snap[name]
+            if family["help"]:
+                lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {family['type']}")
+            labelnames = list(family["labelnames"])
+            for series in family["series"]:
+                values = [series["labels"][n] for n in labelnames]
+                if family["type"] == "histogram":
+                    for le, n in series["buckets"].items():
+                        label_str = _render_labels(labelnames, values,
+                                                   extra=(("le", le),))
+                        lines.append(f"{name}_bucket{label_str} {n}")
+                    label_str = _render_labels(labelnames, values)
+                    lines.append(f"{name}_sum{label_str} "
+                                 f"{_fmt_value(series['sum'])}")
+                    lines.append(f"{name}_count{label_str} "
+                                 f"{series['count']}")
+                else:
+                    label_str = _render_labels(labelnames, values)
+                    lines.append(f"{name}{label_str} "
+                                 f"{_fmt_value(series['value'])}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def to_envelope(self, **meta) -> Dict[str, object]:
+        """One ``repro.metrics/1`` envelope of the current snapshot."""
+        return make_envelope(METRICS_SCHEMA, record="snapshot",
+                             t_unix=round(time.time(), 3),
+                             metrics=self.snapshot(), **meta)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text-format parser (strict; used by tests and the smoke)
+# ---------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$")
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return (value.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse (and validate) a Prometheus text exposition.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(sample_name, labels_dict, value), ...]}}``.  Strict on purpose:
+    malformed lines, samples before their TYPE line, non-cumulative
+    histogram buckets, and ``_count`` != ``+Inf``-bucket all raise
+    :class:`MetricsError` — the tests pin the endpoint to this grammar.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in families and families[base]["type"] == \
+                        "histogram":
+                    return base
+        return sample_name
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            families.setdefault(
+                name, {"type": None, "help": "", "samples": []})
+            families[name]["help"] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ", 1)
+            if len(parts) != 2 or parts[1] not in ("counter", "gauge",
+                                                   "histogram"):
+                raise MetricsError(f"line {lineno}: bad TYPE line {raw!r}")
+            name, kind = parts
+            families.setdefault(
+                name, {"type": None, "help": "", "samples": []})
+            families[name]["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise MetricsError(f"line {lineno}: bad sample line {raw!r}")
+        sample_name = match.group("name")
+        labels: Dict[str, str] = {}
+        label_text = match.group("labels")
+        if label_text:
+            pos = 0
+            while pos < len(label_text):
+                pair = _LABEL_PAIR_RE.match(label_text, pos)
+                if not pair:
+                    raise MetricsError(
+                        f"line {lineno}: bad label text {label_text!r}")
+                labels[pair.group(1)] = _unescape_label(pair.group(2))
+                pos = pair.end()
+                if pos < len(label_text):
+                    if label_text[pos] != ",":
+                        raise MetricsError(
+                            f"line {lineno}: bad label separator in "
+                            f"{label_text!r}")
+                    pos += 1
+        value = _parse_value(match.group("value"))
+        base = family_of(sample_name)
+        if base not in families or families[base]["type"] is None:
+            raise MetricsError(
+                f"line {lineno}: sample {sample_name!r} has no TYPE line")
+        families[base]["samples"].append((sample_name, labels, value))
+
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Dict[str, Dict[str, object]]) -> None:
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        by_series: Dict[Tuple[Tuple[str, str], ...],
+                        Dict[str, object]] = {}
+        for sample_name, labels, value in family["samples"]:
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            entry = by_series.setdefault(
+                key, {"buckets": [], "count": None})
+            if sample_name == f"{name}_bucket":
+                if "le" not in labels:
+                    raise MetricsError(f"{name}: bucket sample missing le")
+                entry["buckets"].append(
+                    (_parse_value(labels["le"]), value))
+            elif sample_name == f"{name}_count":
+                entry["count"] = value
+        for key, entry in by_series.items():
+            buckets = sorted(entry["buckets"])
+            counts = [n for _, n in buckets]
+            if counts != sorted(counts):
+                raise MetricsError(
+                    f"{name}{dict(key)}: bucket counts not cumulative")
+            if buckets and buckets[-1][0] != math.inf:
+                raise MetricsError(f"{name}{dict(key)}: no +Inf bucket")
+            if (entry["count"] is not None and buckets
+                    and entry["count"] != buckets[-1][1]):
+                raise MetricsError(
+                    f"{name}{dict(key)}: _count {entry['count']} != +Inf "
+                    f"bucket {buckets[-1][1]}")
+
+
+def sample_value(families: Dict[str, Dict[str, object]], name: str,
+                 labels: Optional[Dict[str, str]] = None
+                 ) -> Optional[float]:
+    """The value of one parsed sample, or ``None`` if absent."""
+    base = name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            base = name[: -len(suffix)]
+    family = families.get(base)
+    if family is None:
+        return None
+    for sample_name, sample_labels, value in family["samples"]:
+        if sample_name == name and sample_labels == (labels or {}):
+            return value
+    return None

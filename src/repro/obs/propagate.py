@@ -1,0 +1,208 @@
+"""Cross-process trace propagation for the compile service.
+
+PR 4 gave each *compilation* a structured ``repro.trace/1`` stream; the
+compile service spreads one request over several actors — the HTTP
+front end, the single-flight service core, the multiprocessing worker
+(possibly several attempts of it, if a worker dies mid-compile) — each
+in its own thread or process.  This module is the glue that stitches
+them back into one causal timeline:
+
+* every request gets a **trace id** — minted at the front end
+  (:func:`mint_trace_id`) or accepted from the ``X-Repro-Trace-Id``
+  request header when a client supplies its own;
+* the id (plus an **attempt** number, bumped by the pool on every
+  SIGKILL-respawn retry) rides the task payload into the worker as a
+  :class:`TraceContext`;
+* each actor writes its spans as a standard ``repro.trace/1`` JSONL
+  file into a shared :class:`TraceCollector` directory, header
+  stamped with ``trace_id`` / ``component`` / ``attempt`` and every
+  event stamped with the ``trace_id``;
+* ``python -m repro trace-view <id>`` (:mod:`repro.obs.traceview`)
+  collects the files for one id and renders the merged span tree:
+  HTTP receipt → queue wait → worker compile → per-pass spans.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.obs.envelope import make_envelope
+from repro.obs.trace import TRACE_SCHEMA, read_jsonl
+
+#: HTTP header carrying the request's trace id (request and response).
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Trace file components, in causal order.
+COMPONENTS = ("serve", "worker")
+
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+def mint_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+def valid_trace_id(trace_id: object) -> bool:
+    """Whether ``trace_id`` is acceptable from the wire (lowercase hex,
+    8..64 chars) — anything else gets a freshly minted id instead."""
+    return isinstance(trace_id, str) and bool(_TRACE_ID_RE.match(trace_id))
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What one task carries across the process boundary."""
+
+    trace_id: str
+    trace_dir: str
+    attempt: int = 1
+
+    def to_meta(self) -> Dict[str, object]:
+        return {"trace_id": self.trace_id, "trace_dir": self.trace_dir,
+                "attempt": self.attempt}
+
+    @classmethod
+    def from_meta(cls, meta: Dict[str, object]) -> "TraceContext":
+        return cls(trace_id=str(meta["trace_id"]),
+                   trace_dir=str(meta["trace_dir"]),
+                   attempt=int(meta.get("attempt", 1)))
+
+
+class TraceCollector:
+    """A directory of per-actor ``repro.trace/1`` JSONL files.
+
+    One file per (trace id, component, attempt, pid): single-writer by
+    construction, so cross-process collection needs no locking.  The
+    directory is created lazily on first write.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, trace_id: str, component: str, attempt: int = 0,
+                 pid: Optional[int] = None) -> str:
+        if component not in COMPONENTS:
+            raise ValueError(f"unknown trace component {component!r}; "
+                             f"expected one of {COMPONENTS}")
+        pid = os.getpid() if pid is None else pid
+        return os.path.join(
+            self.root, f"{trace_id}.{component}.{attempt:02d}.{pid}.jsonl")
+
+    # -- write side ----------------------------------------------------------
+
+    def write_events(self, trace_id: str, component: str,
+                     events: List[Dict[str, object]], attempt: int = 0,
+                     **meta) -> str:
+        """Write one actor's events as a ``repro.trace/1`` JSONL file.
+
+        Every event line is stamped with the trace id, so a span never
+        travels without its causal identity; the header carries the
+        component/attempt/pid provenance plus any extra ``meta``.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path_for(trace_id, component, attempt)
+        header = make_envelope(
+            TRACE_SCHEMA, record="header", events=len(events),
+            trace_id=trace_id, component=component, attempt=attempt,
+            pid=os.getpid(), t_unix=round(time.time(), 6), **meta)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fp:
+            fp.write(json.dumps(header) + "\n")
+            for event in events:
+                fp.write(json.dumps(dict(event, trace_id=trace_id)) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def write_tracer(self, tracer, trace_id: str, component: str,
+                     attempt: int = 0, **meta) -> str:
+        """Write a live :class:`repro.obs.trace.Tracer`'s events."""
+        return self.write_events(
+            trace_id, component, [e.to_dict() for e in tracer.events],
+            attempt=attempt, passes=tracer.pass_times(), **meta)
+
+    # -- read side -----------------------------------------------------------
+
+    def ids(self) -> List[str]:
+        """Every distinct trace id with at least one collected file."""
+        found = set()
+        for path in glob.glob(os.path.join(self.root, "*.jsonl")):
+            name = os.path.basename(path)
+            found.add(name.split(".", 1)[0])
+        return sorted(found)
+
+    def resolve(self, prefix: str) -> str:
+        """The unique collected trace id starting with ``prefix``."""
+        matches = [tid for tid in self.ids() if tid.startswith(prefix)]
+        if not matches:
+            raise KeyError(f"no collected trace matches {prefix!r} "
+                           f"under {self.root}")
+        if len(matches) > 1:
+            raise KeyError(f"trace id prefix {prefix!r} is ambiguous: "
+                           f"{', '.join(matches[:4])}...")
+        return matches[0]
+
+    def collect(self, trace_id: str) -> List[Dict[str, object]]:
+        """Every collected envelope for ``trace_id``, ordered serve
+        first, then worker attempts ascending."""
+        pattern = os.path.join(self.root, f"{trace_id}.*.jsonl")
+        envelopes = []
+        for path in sorted(glob.glob(pattern)):
+            envelope = read_jsonl(path)
+            envelope.setdefault("component", "serve")
+            envelopes.append(envelope)
+        envelopes.sort(key=lambda env: (
+            COMPONENTS.index(env.get("component", "serve"))
+            if env.get("component") in COMPONENTS else len(COMPONENTS),
+            int(env.get("attempt", 0) or 0),
+            float(env.get("t_unix", 0) or 0)))
+        return envelopes
+
+
+def record_task_trace(ctx_meta: Dict[str, object], kind: str, status: str,
+                      out: object, duration_s: float) -> Optional[str]:
+    """Write the worker-side trace file for one executed task.
+
+    Called by the pool on both the subprocess path and the inline path.
+    For ``compile`` tasks whose artifact embeds a ``repro.trace/1``
+    envelope, the compilation's own per-pass events are written (each
+    stamped with the trace id); any other task, and any errored one,
+    gets a minimal single-event stream so the attempt is still visible
+    in ``trace-view``.  Never raises: telemetry must not break compiles.
+    """
+    try:
+        ctx = TraceContext.from_meta(ctx_meta)
+        collector = TraceCollector(ctx.trace_dir)
+        events: List[Dict[str, object]] = []
+        meta: Dict[str, object] = {"task": kind, "status": status,
+                                   "duration_s": round(duration_s, 6)}
+        trace_env = None
+        if isinstance(out, dict):
+            trace_env = out.get("trace")
+            if out.get("kernel"):
+                meta["kernel"] = out["kernel"]
+        if isinstance(trace_env, dict) and \
+                trace_env.get("schema") == TRACE_SCHEMA:
+            events = list(trace_env.get("events") or [])
+            meta["passes"] = dict(trace_env.get("passes") or {})
+        else:
+            message = f"task {kind!r} completed: {status}"
+            if status == "error" and isinstance(out, dict):
+                message = (f"task {kind!r} failed: "
+                           f"[{out.get('type', 'Exception')}] "
+                           f"{out.get('message', '')}")
+            events = [{"kind": "decision", "seq": 0, "t_s": 0.0,
+                       "pass": "worker", "message": message,
+                       "rule": "serve.task"}]
+        return collector.write_events(ctx.trace_id, "worker", events,
+                                      attempt=ctx.attempt, **meta)
+    except Exception:
+        return None

@@ -136,6 +136,27 @@ class Tracer:
                 pass_name=name, duration_s=end - frame.start,
                 counters=dict(frame.counters) or None))
 
+    def retro_span(self, name: str, start: float, end: float,
+                   counters: Optional[Dict[str, float]] = None,
+                   details: Optional[Dict[str, object]] = None) -> None:
+        """Record a span from externally measured ``perf_counter`` stamps.
+
+        The compile service uses this to attribute time it did not spend
+        itself — pool queue wait, worker task execution — measured by
+        the pool on the same monotonic clock this tracer runs on.  The
+        span is emitted closed (start + end events) at the point of the
+        call, with ``t_s`` values back-dated to the real interval.
+        """
+        start_rel = max(0.0, start - self._t0)
+        end_rel = max(start_rel, end - self._t0)
+        self._emit(TraceEvent(kind="span_start", seq=self._next_seq(),
+                              t_s=start_rel, pass_name=name,
+                              details=dict(details or {})))
+        self._emit(TraceEvent(kind="span_end", seq=self._next_seq(),
+                              t_s=end_rel, pass_name=name,
+                              duration_s=end_rel - start_rel,
+                              counters=dict(counters) if counters else None))
+
     def count(self, counter: str, n: float = 1) -> None:
         """Bump a per-pass counter (reported on the enclosing span_end)."""
         if self._stack:

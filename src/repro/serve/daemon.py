@@ -12,16 +12,32 @@ cache-status-free (the hit/miss verdict travels in the
 ``X-Repro-Cache`` response header and the ``/stats`` counters),
 duplicate requests get byte-identical response bodies.
 
+Telemetry (PR 9): every counter the service exposes lives in one
+:class:`~repro.obs.metrics.MetricsRegistry` shared by the service, the
+store, and the pool — ``/stats`` and ``/metrics`` both render from one
+atomic snapshot and can never disagree.  Every request carries a trace
+id (minted here, or accepted from the ``X-Repro-Trace-Id`` header) that
+propagates through single-flight coalescing and the worker pool; each
+actor writes its spans into ``<store>/traces`` so ``python -m repro
+trace-view <id>`` can stitch HTTP receipt → queue wait → worker compile
+→ per-pass spans back into one tree.
+
 HTTP surface (``python -m repro serve``):
 
 * ``POST /compile`` — body ``{"source": ..., "sizes": {...},
   "domain": [x, y] | "XxY", "machine": "GTX280", "options": {...},
   "profile": false}``; answers a ``repro.serve/1`` envelope (200 =
   compiled, 422 = expected compile failure, 400 = bad request, 500 =
-  worker lost).
+  worker lost); echoes ``X-Repro-Trace-Id``.
 * ``GET /stats`` — hit/miss/error/corrupt counters, queue depth, store
   size, worker respawns, as a ``repro.serve/1`` envelope.
+* ``GET /metrics`` — Prometheus text exposition (0.0.4);
+  ``GET /metrics?format=json`` answers the ``repro.metrics/1`` envelope.
 * ``GET /healthz`` — liveness probe.
+
+On SIGTERM (or Ctrl-C) the daemon shuts down gracefully: it stops
+accepting, drains in-flight requests, flushes one final
+``repro.metrics/1`` snapshot line to stderr, and exits 0.
 """
 
 from __future__ import annotations
@@ -29,6 +45,8 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
+import signal
 import sys
 import threading
 import time
@@ -38,12 +56,19 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.compiler import CompileOptions
 from repro.machine import MACHINES, GpuSpec, machine
 from repro.obs.envelope import make_envelope
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.propagate import (TRACE_HEADER, TraceCollector, TraceContext,
+                                 mint_trace_id, valid_trace_id)
+from repro.obs.trace import Tracer
 from repro.serve.artifact import SERVE_SCHEMA, error_artifact
 from repro.serve.pool import WorkerDied, WorkerError, WorkerPool
 from repro.serve.store import ArtifactStore, cache_key
 
 #: Default TCP port (unassigned in the IANA registry; '2010' for PLDI).
 DEFAULT_PORT = 8210
+
+#: Cache verdicts, as they appear in metric labels.
+VERDICTS = ("hit", "miss", "coalesced", "error")
 
 
 class RequestError(ValueError):
@@ -120,15 +145,37 @@ def parse_request(request: Dict[str, Any],
     return source, sizes, domain, mach, options, profile
 
 
+def _snap_value(snap: Dict[str, Dict[str, Any]], name: str,
+                labels: Optional[Dict[str, str]] = None) -> float:
+    """One series value out of a registry snapshot (0.0 if absent)."""
+    family = snap.get(name)
+    if not family:
+        return 0.0
+    want = labels or {}
+    for series in family["series"]:
+        if series["labels"] == want:
+            return float(series.get("value", series.get("count", 0.0)))
+    return 0.0
+
+
+def _snap_total(snap: Dict[str, Dict[str, Any]], name: str) -> float:
+    """Sum over every series of one counter family (0.0 if absent)."""
+    family = snap.get(name)
+    if not family:
+        return 0.0
+    return sum(float(s.get("value", 0.0)) for s in family["series"])
+
+
 class _Flight:
     """One in-flight compile other requests for the same key join."""
 
-    __slots__ = ("done", "payload", "cacheable")
+    __slots__ = ("done", "payload", "cacheable", "trace_id")
 
-    def __init__(self):
+    def __init__(self, trace_id: str = ""):
         self.done = threading.Event()
         self.payload: Optional[Dict[str, Any]] = None
         self.cacheable = False
+        self.trace_id = trace_id
 
 
 class CompileService:
@@ -137,67 +184,185 @@ class CompileService:
     def __init__(self, store: ArtifactStore,
                  pool: Optional[WorkerPool] = None,
                  workers: Optional[int] = None,
-                 pass_budget_s: Optional[float] = None):
+                 pass_budget_s: Optional[float] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 trace_dir: Optional[str] = None):
         self.store = store
-        self.pool = pool if pool is not None else WorkerPool(workers)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if pool is not None:
+            self.pool = pool
+            self.pool.bind_metrics(self.metrics)
+        else:
+            self.pool = WorkerPool(workers, metrics=self.metrics)
+        self.store.bind_metrics(self.metrics)
         self.pass_budget_s = pass_budget_s
         self.started_at = time.time()
+        self.traces = TraceCollector(
+            trace_dir if trace_dir is not None
+            else os.path.join(store.root, "traces"))
         self._lock = threading.Lock()
         self._inflight: Dict[str, _Flight] = {}
-        self.counters: Dict[str, int] = {
-            "requests": 0, "hits": 0, "misses": 0, "errors": 0,
-            "compiles": 0, "bad_requests": 0,
-        }
+        self._inflight_requests = 0
+        self._bind_service_metrics()
+
+    def _bind_service_metrics(self) -> None:
+        reg = self.metrics
+        self._m_requests = reg.counter(
+            "repro_requests_total", "Compile requests received (any "
+            "outcome, including bad requests).")
+        self._m_bad = reg.counter(
+            "repro_bad_requests_total", "Requests rejected at parse time "
+            "(HTTP 400).")
+        self._m_cache = reg.counter(
+            "repro_cache_requests_total",
+            "Requests by cache verdict: hit (store), miss (this request "
+            "compiled), coalesced (joined an in-flight compile).",
+            labelnames=("verdict",))
+        self._m_errors = reg.counter(
+            "repro_request_errors_total",
+            "Requests answered with an error artifact, by error class.",
+            labelnames=("class",))
+        self._m_compiles = reg.counter(
+            "repro_compiles_total", "Compiles launched (single-flight "
+            "leaders; equals unique cache keys compiled).")
+        self._m_latency = reg.histogram(
+            "repro_request_seconds",
+            "End-to-end request latency by cache verdict.",
+            labelnames=("verdict",))
+        self._m_inflight = reg.gauge(
+            "repro_inflight_requests",
+            "Requests currently being handled.")
+        self._m_inflight.set(0)
+        self._m_rollbacks = reg.counter(
+            "repro_resilience_rollbacks_total",
+            "Resilient-pipeline pass rollbacks by site and cause.",
+            labelnames=("site", "cause"))
+        self._m_floor = reg.counter(
+            "repro_resilience_floor_total",
+            "Compiles degraded to the all-optimizations-off floor.")
+        self._m_faults = reg.counter(
+            "repro_resilience_fault_injections_total",
+            "Injected faults observed in compile traces.")
+        reg.gauge(
+            "repro_uptime_seconds", "Seconds since the service started."
+        ).set_function(lambda: time.time() - self.started_at)
 
     # -- core --------------------------------------------------------------
 
-    def handle_compile(self, request: Dict[str, Any]
+    def handle_compile(self, request: Dict[str, Any],
+                       trace_id: Optional[str] = None
                        ) -> Tuple[Dict[str, Any], str]:
         """Serve one request; returns ``(payload, cache_status)`` where
         cache_status is ``hit`` (store or coalesced), ``miss`` (this
-        request compiled), or ``error``."""
+        request compiled), or ``error``.
+
+        ``trace_id`` is the request's propagated trace identity (the
+        HTTP layer passes the validated ``X-Repro-Trace-Id``); one is
+        minted when absent.  The request's serve-side spans are written
+        to the trace collector whatever the outcome.
+        """
+        if not valid_trace_id(trace_id):
+            trace_id = mint_trace_id()
+        tracer = Tracer()
+        outcome: Dict[str, Any] = {"verdict": "error"}
+        t0 = time.perf_counter()
+        with self.metrics.hold():
+            self._inflight_requests += 1
+            self._m_inflight.set(self._inflight_requests)
         try:
-            source, sizes, domain, mach, options, profile = \
-                parse_request(request)
-        except RequestError:
-            with self._lock:
-                self.counters["requests"] += 1
-                self.counters["bad_requests"] += 1
+            with tracer.span("request"):
+                payload, status = self._handle(request, tracer, trace_id,
+                                               outcome)
+            if isinstance(payload, dict) and payload.get("kernel"):
+                outcome["kernel"] = payload["kernel"]
+            return payload, status
+        finally:
+            elapsed = time.perf_counter() - t0
+            with self.metrics.hold():
+                self._inflight_requests -= 1
+                self._m_inflight.set(self._inflight_requests)
+                self._m_latency.labels(
+                    verdict=outcome["verdict"]).observe(elapsed)
+            meta = {k: outcome[k] for k in ("verdict", "key", "kernel")
+                    if k in outcome}
+            try:
+                self.traces.write_tracer(tracer, trace_id, "serve",
+                                         attempt=0, **meta)
+            except Exception:
+                pass        # telemetry must never break a response
+
+    def _handle(self, request: Dict[str, Any], tracer: Tracer,
+                trace_id: str, outcome: Dict[str, Any]
+                ) -> Tuple[Dict[str, Any], str]:
+        try:
+            with tracer.span("parse"):
+                source, sizes, domain, mach, options, profile = \
+                    parse_request(request)
+        except RequestError as exc:
+            with self.metrics.hold():
+                self._m_requests.inc()
+                self._m_bad.inc()
+            tracer.decision(f"bad request: {exc}", rule="serve.parse")
             raise
         if self.pass_budget_s is not None and options.pass_budget_s is None:
             options = dataclasses.replace(
                 options, pass_budget_s=self.pass_budget_s,
                 resilient=True)
-        key = cache_key(source, sizes, domain, mach, options,
-                        extra={"profile": profile})
+        with tracer.span("key"):
+            key = cache_key(source, sizes, domain, mach, options,
+                            extra={"profile": profile})
+        outcome["key"] = key
 
         leader = False
         with self._lock:
-            self.counters["requests"] += 1
             cached = self.store.get(key)
             if cached is not None:
-                self.counters["hits"] += 1
+                with self.metrics.hold():
+                    self._m_requests.inc()
+                    self._m_cache.labels(verdict="hit").inc()
+                outcome["verdict"] = "hit"
+                tracer.decision(f"store hit for {key[:12]}",
+                                rule="serve.cache")
                 return cached, "hit"
             flight = self._inflight.get(key)
             if flight is None:
-                flight = _Flight()
+                flight = _Flight(trace_id=trace_id)
                 self._inflight[key] = flight
                 leader = True
-                self.counters["misses"] += 1
-                self.counters["compiles"] += 1
+                with self.metrics.hold():
+                    self._m_requests.inc()
+                    self._m_cache.labels(verdict="miss").inc()
+                    self._m_compiles.inc()
+            else:
+                with self.metrics.hold():
+                    self._m_requests.inc()
 
         if not leader:
-            flight.done.wait()
-            with self._lock:
-                if flight.cacheable:
-                    self.counters["hits"] += 1
-                    return flight.payload, "hit"
-                self.counters["errors"] += 1
-                return flight.payload, "error"
+            with tracer.span("coalesce.wait"):
+                flight.done.wait()
+            tracer.decision(
+                f"coalesced onto in-flight compile "
+                f"(leader trace {flight.trace_id[:12]})",
+                rule="serve.single-flight",
+                details={"leader_trace_id": flight.trace_id})
+            if flight.cacheable:
+                outcome["verdict"] = "coalesced"
+                with self.metrics.hold():
+                    self._m_cache.labels(verdict="coalesced").inc()
+                return flight.payload, "hit"
+            err_class = ((flight.payload or {}).get("error")
+                         or {}).get("type", "InternalError")
+            outcome["class"] = err_class
+            with self.metrics.hold():
+                self._m_errors.labels(**{"class": err_class}).inc()
+            return flight.payload, "error"
 
+        # Leader: compile, publish to waiters, maybe persist.
         try:
             payload, cacheable = self._compile(key, source, sizes, domain,
-                                               mach, options, profile)
+                                               mach, options, profile,
+                                               tracer=tracer,
+                                               trace_id=trace_id)
         except BaseException:
             # Never leave waiters hanging: publish a structured internal
             # error, then re-raise for the transport layer.
@@ -212,50 +377,140 @@ class CompileService:
                 del self._inflight[key]
             flight.done.set()
         if cacheable:
-            self.store.put(key, payload)
+            with tracer.span("store.put"):
+                self.store.put(key, payload)
+            self._scan_resilience(payload)
+            outcome["verdict"] = "miss"
             return payload, "miss"
-        with self._lock:
-            self.counters["errors"] += 1
+        err_class = (payload.get("error") or {}).get("type",
+                                                     "InternalError")
+        outcome["class"] = err_class
+        with self.metrics.hold():
+            self._m_errors.labels(**{"class": err_class}).inc()
         return payload, "error"
 
     def _compile(self, key: str, source: str, sizes: Dict[str, int],
                  domain: Tuple[int, int], mach: GpuSpec,
-                 options: CompileOptions, profile: bool
+                 options: CompileOptions, profile: bool,
+                 tracer: Optional[Tracer] = None,
+                 trace_id: Optional[str] = None
                  ) -> Tuple[Dict[str, Any], bool]:
+        ctx = None
+        if trace_id is not None:
+            ctx = TraceContext(trace_id, self.traces.root)
         task = self.pool.submit("compile", {
             "key": key, "source": source, "sizes": sizes, "domain": domain,
             "machine": mach, "options": options, "profile": profile,
-        })
+        }, trace=ctx)
         try:
             payload = task.result()
         except WorkerDied as exc:
+            self._attribute_pool_spans(tracer, task)
             return error_artifact(key, "WorkerDied", str(exc)), False
         except WorkerError as exc:
+            self._attribute_pool_spans(tracer, task)
             return error_artifact(key, exc.error_type,
                                   exc.remote_message), False
+        self._attribute_pool_spans(tracer, task)
         return payload, bool(payload.get("ok"))
+
+    @staticmethod
+    def _attribute_pool_spans(tracer: Optional[Tracer], task) -> None:
+        """Back-date the pool's externally measured queue-wait and task
+        windows into the request tracer as spans."""
+        if tracer is None or task.t_start is None or task.t_end is None:
+            return
+        tracer.retro_span("pool.queue", task.t_submit, task.t_start)
+        tracer.retro_span("pool.task", task.t_start, task.t_end,
+                          details={"attempts": task.attempts})
+
+    def _scan_resilience(self, payload: Dict[str, Any]) -> None:
+        """Fold one successful artifact's resilience telemetry into the
+        registry (sourced from its embedded trace, not new pass hooks)."""
+        trace_env = payload.get("trace") or {}
+        events = trace_env.get("events") or []
+        resil = payload.get("resilience") or {}
+        with self.metrics.hold():
+            for event in events:
+                if event.get("kind") != "rollback":
+                    continue
+                details = event.get("details") or {}
+                site = str(details.get("site") or "unknown")
+                cause = str(details.get("cause") or "error")
+                self._m_rollbacks.labels(site=site, cause=cause).inc()
+                if cause == "fault":
+                    self._m_faults.inc()
+            if resil.get("floor"):
+                self._m_floor.inc()
 
     # -- stats -------------------------------------------------------------
 
+    @property
+    def counters(self) -> Dict[str, int]:
+        """The legacy counter dict, derived from one registry snapshot."""
+        return self._counters_from(self.metrics.snapshot())
+
+    @staticmethod
+    def _counters_from(snap: Dict[str, Dict[str, Any]]) -> Dict[str, int]:
+        cache = {verdict: int(_snap_value(
+            snap, "repro_cache_requests_total", {"verdict": verdict}))
+            for verdict in ("hit", "miss", "coalesced")}
+        return {
+            "requests": int(_snap_value(snap, "repro_requests_total")),
+            "hits": cache["hit"] + cache["coalesced"],
+            "misses": cache["miss"],
+            "coalesced": cache["coalesced"],
+            "errors": int(_snap_total(snap, "repro_request_errors_total")),
+            "compiles": int(_snap_value(snap, "repro_compiles_total")),
+            "bad_requests": int(_snap_value(snap,
+                                            "repro_bad_requests_total")),
+        }
+
     def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` envelope — every number from ONE registry
+        snapshot, so it can never disagree with ``/metrics``."""
         with self._lock:
-            counters = dict(self.counters)
+            snap = self.metrics.snapshot()
             inflight = len(self._inflight)
-        counters["corrupt_evictions"] = self.store.stats.corrupt
+            events = list(self.store.events)
+        counters = self._counters_from(snap)
+        counters["corrupt_evictions"] = int(_snap_value(
+            snap, "repro_store_corrupt_evictions_total"))
         return make_envelope(
             SERVE_SCHEMA,
             command="stats",
             uptime_s=round(time.time() - self.started_at, 3),
             counters=counters,
-            queue_depth=self.pool.queue_depth,
+            queue_depth=int(_snap_value(snap, "repro_pool_queue_depth")),
             inflight=inflight,
             workers=self.pool.workers,
-            worker_respawns=self.pool.respawns,
+            worker_respawns=int(_snap_value(snap,
+                                            "repro_pool_respawns_total")),
             store={"root": self.store.root,
-                   "entries": len(self.store),
-                   **self.store.stats.to_dict()},
-            events=list(self.store.events),
+                   "entries": int(_snap_value(snap, "repro_store_entries")),
+                   "bytes": int(_snap_value(snap, "repro_store_bytes")),
+                   "hits": int(_snap_value(snap, "repro_store_hits_total")),
+                   "misses": int(_snap_value(snap,
+                                             "repro_store_misses_total")),
+                   "writes": int(_snap_value(snap,
+                                             "repro_store_writes_total")),
+                   "corrupt": int(_snap_value(
+                       snap, "repro_store_corrupt_evictions_total"))},
+            events=events,
         )
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Wait for in-flight requests and queued pool tasks to finish;
+        returns whether the service drained within the timeout."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            with self._lock:
+                busy = bool(self._inflight) or self._inflight_requests > 0
+            if not busy and self.pool.queue_depth == 0:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.05)
 
     def close(self) -> None:
         self.pool.close()
@@ -278,20 +533,39 @@ class _Handler(BaseHTTPRequestHandler):
             sys.stderr.write("serve: %s\n" % (fmt % args))
 
     def _reply(self, status: int, payload: Dict[str, Any],
-               cache: Optional[str] = None) -> None:
+               cache: Optional[str] = None,
+               trace_id: Optional[str] = None) -> None:
         body = _json_bytes(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if cache is not None:
             self.send_header("X-Repro-Cache", cache)
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self):                      # noqa: N802
-        if self.path == "/stats":
+        path, _, query = self.path.partition("?")
+        if path == "/stats":
             self._reply(200, self.service.stats())
-        elif self.path == "/healthz":
+        elif path == "/metrics":
+            if "format=json" in query:
+                self._reply(200, self.service.metrics.to_envelope())
+            else:
+                self._reply_text(
+                    200, self.service.metrics.render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/healthz":
             self._reply(200, {"ok": True})
         else:
             self._reply(404, {"ok": False,
@@ -302,31 +576,36 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, {"ok": False,
                               "error": f"no such path {self.path!r}"})
             return
+        client_tid = self.headers.get(TRACE_HEADER)
+        trace_id = (client_tid if valid_trace_id(client_tid)
+                    else mint_trace_id())
         try:
             length = int(self.headers.get("Content-Length") or 0)
             request = json.loads(self.rfile.read(length) or b"{}")
         except (ValueError, UnicodeDecodeError) as exc:
             self._reply(400, {"ok": False,
-                              "error": f"bad JSON body: {exc}"})
+                              "error": f"bad JSON body: {exc}"},
+                        trace_id=trace_id)
             return
         try:
-            payload, cache = self.service.handle_compile(request)
+            payload, cache = self.service.handle_compile(
+                request, trace_id=trace_id)
         except RequestError as exc:
             self._reply(400, {"ok": False, "error": str(exc)},
-                        cache="error")
+                        cache="error", trace_id=trace_id)
             return
         except Exception as exc:
             self._reply(500, {"ok": False,
                               "error": f"internal error "
                                        f"[{type(exc).__name__}]: {exc}"},
-                        cache="error")
+                        cache="error", trace_id=trace_id)
             return
         if payload.get("ok"):
-            self._reply(200, payload, cache=cache)
+            self._reply(200, payload, cache=cache, trace_id=trace_id)
         else:
             err = (payload.get("error") or {}).get("type", "")
             status = 500 if err in ("WorkerDied", "InternalError") else 422
-            self._reply(status, payload, cache=cache)
+            self._reply(status, payload, cache=cache, trace_id=trace_id)
 
 
 class ServeServer(ThreadingHTTPServer):
@@ -361,6 +640,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
                         metavar="SECONDS",
                         help="per-pass wall-clock budget applied to every "
                              "compile (resilient rollback on overrun)")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="max wait for in-flight requests on shutdown "
+                             "(default: 10)")
     parser.add_argument("--verbose", action="store_true",
                         help="log each HTTP request to stderr")
     try:
@@ -374,16 +657,32 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     server = ServeServer((args.host, args.port), service,
                          verbose=args.verbose)
     host, port = server.server_address[:2]
+
+    stop = threading.Event()
+    if (hasattr(signal, "SIGTERM")
+            and threading.current_thread() is threading.main_thread()):
+        signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.2},
+                              name="repro-serve-http", daemon=True)
+    thread.start()
     print(f"serving repro compile service on http://{host}:{port} "
           f"(workers={service.pool.workers}, store={args.store})",
           flush=True)
     try:
-        server.serve_forever(poll_interval=0.2)
+        while not stop.is_set():
+            stop.wait(0.2)
     except KeyboardInterrupt:
         pass
-    finally:
-        server.shutdown()
-        server.server_close()
-        service.close()
-        print("serve: shut down cleanly", flush=True)
+    # Graceful shutdown: stop accepting, drain in-flight work, then
+    # flush one final repro.metrics/1 snapshot line to stderr.
+    server.shutdown()
+    thread.join(timeout=5)
+    drained = service.drain(args.drain_timeout)
+    print(json.dumps(service.metrics.to_envelope(
+        reason="shutdown", drained=drained)), file=sys.stderr, flush=True)
+    server.server_close()
+    service.close()
+    print("serve: shut down cleanly", flush=True)
     return 0

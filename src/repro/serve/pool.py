@@ -28,6 +28,7 @@ its floor computation.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import multiprocessing
 import os
@@ -37,6 +38,9 @@ import threading
 import time
 import traceback
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.propagate import TraceContext, record_task_trace
 
 #: Environment variable naming a directory for per-worker line-coverage
 #: dumps (consumed by ``tools/approx_coverage.py``).
@@ -191,7 +195,13 @@ def _cov_dump(cov_dir: str) -> None:
 
 
 def _worker_main(conn, cov_dir: Optional[str]) -> None:
-    """The worker process loop: recv (kind, payload), send (status, out)."""
+    """The worker process loop: recv (kind, payload), send (status, out).
+
+    When the payload carries a ``_trace`` context (injected by the
+    supervisor per attempt), the worker writes its ``repro.trace/1``
+    span file — stamped with the request's trace id and this attempt
+    number — into the shared trace directory before replying.
+    """
     if cov_dir:
         sys.settrace(_cov_global)
         threading.settrace(_cov_global)
@@ -204,18 +214,29 @@ def _worker_main(conn, cov_dir: Optional[str]) -> None:
             if msg is None:         # graceful stop sentinel
                 break
             kind, payload = msg
+            trace_meta = None
+            if isinstance(payload, dict):
+                trace_meta = payload.pop("_trace", None)
+            t0 = time.perf_counter()
             try:
                 handler = HANDLERS[kind]
                 out = handler(payload)
+                if trace_meta:
+                    record_task_trace(trace_meta, kind, "ok", out,
+                                      time.perf_counter() - t0)
                 conn.send(("ok", out))
             except KeyboardInterrupt:
                 break
             except BaseException as exc:
-                conn.send(("error", {
+                err = {
                     "type": type(exc).__name__,
                     "message": str(exc),
                     "traceback": traceback.format_exc(limit=8),
-                }))
+                }
+                if trace_meta:
+                    record_task_trace(trace_meta, kind, "error", err,
+                                      time.perf_counter() - t0)
+                conn.send(("error", err))
     finally:
         if cov_dir:
             sys.settrace(None)
@@ -233,15 +254,22 @@ def _worker_main(conn, cov_dir: Optional[str]) -> None:
 class _Task:
     """One submitted unit of work and its eventual outcome."""
 
-    __slots__ = ("kind", "payload", "attempts", "status", "value", "_done")
+    __slots__ = ("kind", "payload", "attempts", "status", "value", "_done",
+                 "trace", "t_submit", "t_start", "t_end")
 
-    def __init__(self, kind: str, payload: Dict[str, Any]):
+    def __init__(self, kind: str, payload: Dict[str, Any],
+                 trace: Optional[TraceContext] = None):
         self.kind = kind
         self.payload = payload
         self.attempts = 0
         self.status: Optional[str] = None     # ok | error | worker-died
         self.value: Any = None
         self._done = threading.Event()
+        self.trace = trace
+        # perf_counter stamps for queue-wait / task-duration telemetry.
+        self.t_submit = time.perf_counter()
+        self.t_start: Optional[float] = None
+        self.t_end: Optional[float] = None
 
     def _complete(self, status: str, value: Any) -> None:
         self.status = status
@@ -288,7 +316,8 @@ class WorkerPool:
     """
 
     def __init__(self, workers: Optional[int] = None, max_retries: int = 1,
-                 poll_s: float = 0.05):
+                 poll_s: float = 0.05,
+                 metrics: Optional[MetricsRegistry] = None):
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
         self.workers = workers
@@ -301,6 +330,8 @@ class WorkerPool:
         self._closed = False
         self._slots: List[_Slot] = []
         self._threads: List[threading.Thread] = []
+        self.bind_metrics(metrics if metrics is not None
+                          else MetricsRegistry())
         for i in range(workers):
             slot = _Slot(i)
             self._spawn(slot)
@@ -310,6 +341,58 @@ class WorkerPool:
                                  daemon=True)
             t.start()
             self._threads.append(t)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """(Re)create the pool's instruments on ``registry``.
+
+        Lock-ordering discipline: the callback gauges read the pool's
+        counters via ``queue_depth``/``respawns`` *inside* the registry
+        lock, so pool code must never call into the registry while
+        holding ``self._lock`` (all observations below happen outside
+        it).
+        """
+        self.metrics = registry
+        self._m_queue_wait = registry.histogram(
+            "repro_pool_queue_wait_seconds",
+            "Time a task spent queued before a worker picked it up.")
+        self._m_task_s = registry.histogram(
+            "repro_pool_task_seconds",
+            "Wall time from first attempt start to task completion.",
+            labelnames=("kind",))
+        self._m_tasks = registry.counter(
+            "repro_pool_tasks_total",
+            "Completed pool tasks by kind and outcome.",
+            labelnames=("kind", "outcome"))
+        self._m_retries = registry.counter(
+            "repro_pool_retries_total",
+            "Task attempts re-run after a worker died mid-task.")
+        self._m_respawns = registry.counter(
+            "repro_pool_respawns_total",
+            "Worker processes respawned after dying.")
+        registry.gauge(
+            "repro_pool_queue_depth",
+            "Tasks submitted but not yet completed (queued + running)."
+        ).set_function(lambda: float(self.queue_depth))
+        registry.gauge(
+            "repro_pool_workers",
+            "Configured worker process count (0 = inline mode)."
+        ).set_function(lambda: float(self.workers))
+
+    def _finish(self, task: _Task, status: str, value: Any) -> None:
+        """Record task telemetry, then complete the task.
+
+        Metrics are recorded *before* ``_complete`` so a waiter that
+        observes the result also observes the matching counters.
+        """
+        task.t_end = time.perf_counter()
+        start = task.t_start if task.t_start is not None else task.t_end
+        with self.metrics.hold():
+            self._m_tasks.labels(kind=task.kind, outcome=status).inc()
+            self._m_task_s.labels(kind=task.kind).observe(
+                max(0.0, task.t_end - start))
+        task._complete(status, value)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -333,6 +416,7 @@ class WorkerPool:
             slot.proc.terminate()
         slot.proc.join(timeout=5)
         slot.respawns += 1
+        self._m_respawns.inc()
         self._spawn(slot)
 
     def close(self) -> None:
@@ -372,18 +456,30 @@ class WorkerPool:
         """Total worker respawns since the pool started (chaos metric)."""
         return sum(slot.respawns for slot in self._slots)
 
-    def submit(self, kind: str, payload: Dict[str, Any]) -> _Task:
+    def submit(self, kind: str, payload: Dict[str, Any],
+               trace: Optional[TraceContext] = None) -> _Task:
         if kind not in HANDLERS:
             raise ValueError(f"unknown task kind {kind!r}; "
                              f"expected one of {sorted(HANDLERS)}")
-        task = _Task(kind, payload)
+        task = _Task(kind, payload, trace=trace)
         if self.inline:
+            task.attempts = 1
+            task.t_start = time.perf_counter()
+            self._m_queue_wait.observe(
+                max(0.0, task.t_start - task.t_submit))
             try:
-                task._complete("ok", HANDLERS[kind](payload))
+                out = HANDLERS[kind](payload)
+                status, value = "ok", out
             except BaseException as exc:
-                task._complete("error", {
+                status, value = "error", {
                     "type": type(exc).__name__, "message": str(exc),
-                    "traceback": traceback.format_exc(limit=8)})
+                    "traceback": traceback.format_exc(limit=8)}
+            if trace is not None:
+                record_task_trace(
+                    dataclasses.replace(trace, attempt=1).to_meta(),
+                    kind, status, value,
+                    time.perf_counter() - task.t_start)
+            self._finish(task, status, value)
             return task
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -414,22 +510,33 @@ class WorkerPool:
     def _run_task(self, slot: _Slot, task: _Task) -> None:
         while True:
             task.attempts += 1
+            if task.t_start is None:
+                task.t_start = time.perf_counter()
+                self._m_queue_wait.observe(
+                    max(0.0, task.t_start - task.t_submit))
+            else:
+                self._m_retries.inc()
+            wire_payload = task.payload
+            if task.trace is not None and isinstance(task.payload, dict):
+                ctx = dataclasses.replace(task.trace,
+                                          attempt=task.attempts)
+                wire_payload = dict(task.payload, _trace=ctx.to_meta())
             sent = True
             try:
-                slot.conn.send((task.kind, task.payload))
+                slot.conn.send((task.kind, wire_payload))
             except (BrokenPipeError, OSError):
                 sent = False
             if sent:
                 outcome = self._await(slot)
                 if outcome is not None:
                     status, value = outcome
-                    task._complete(status, value)
+                    self._finish(task, status, value)
                     return
             # The worker died under (or before) this task: respawn it,
             # then retry the task or fail it with a structured error.
             self._respawn(slot)
             if task.attempts > self.max_retries:
-                task._complete("worker-died", {
+                self._finish(task, "worker-died", {
                     "type": "WorkerDied",
                     "message": (f"worker died running {task.kind!r} "
                                 f"(attempts={task.attempts})"),

@@ -122,6 +122,47 @@ class ArtifactStore:
         self.stats = StoreStats()
         #: ``cache.corrupt`` (and future) event records, oldest first.
         self.events: List[Dict[str, object]] = []
+        self._m_hits = self._m_misses = None
+        self._m_writes = self._m_corrupt = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror the store's counters onto a metrics registry.
+
+        Counters are seeded from the current :class:`StoreStats` values
+        so a late bind never under-reports; entry/byte gauges are
+        callbacks evaluated at snapshot time.
+        """
+        self._m_hits = registry.counter(
+            "repro_store_hits_total", "Artifact store cache hits.")
+        self._m_misses = registry.counter(
+            "repro_store_misses_total", "Artifact store cache misses.")
+        self._m_writes = registry.counter(
+            "repro_store_writes_total", "Artifacts persisted to disk.")
+        self._m_corrupt = registry.counter(
+            "repro_store_corrupt_evictions_total",
+            "Corrupt entries detected and evicted on load.")
+        self._m_hits.inc(self.stats.hits)
+        self._m_misses.inc(self.stats.misses)
+        self._m_writes.inc(self.stats.writes)
+        self._m_corrupt.inc(self.stats.corrupt)
+        registry.gauge(
+            "repro_store_entries", "Artifact entries currently on disk."
+        ).set_function(lambda: float(len(self)))
+        registry.gauge(
+            "repro_store_bytes",
+            "Bytes of artifact entries currently on disk."
+        ).set_function(lambda: float(self.bytes_on_disk()))
+
+    def bytes_on_disk(self) -> int:
+        """Total size of every artifact entry file (traces and tempfiles
+        excluded — only ``<key>.<kind>.json`` entries count)."""
+        total = 0
+        for key, kind in self.keys():
+            try:
+                total += os.path.getsize(self.path_for(key, kind))
+            except OSError:
+                pass
+        return total
 
     # -- paths -------------------------------------------------------------
 
@@ -147,6 +188,8 @@ class ArtifactStore:
                 wrapper = json.load(f)
         except FileNotFoundError:
             self.stats.misses += 1
+            if self._m_misses:
+                self._m_misses.inc()
             return None
         except (OSError, ValueError, UnicodeDecodeError) as exc:
             self._evict_corrupt(key, kind, path,
@@ -172,6 +215,8 @@ class ArtifactStore:
             self._evict_corrupt(key, kind, path, reason)
             return None
         self.stats.hits += 1
+        if self._m_hits:
+            self._m_hits.inc()
         return payload
 
     def _evict_corrupt(self, key: str, kind: str, path: str,
@@ -182,6 +227,10 @@ class ArtifactStore:
             pass
         self.stats.corrupt += 1
         self.stats.misses += 1
+        if self._m_corrupt:
+            self._m_corrupt.inc()
+        if self._m_misses:
+            self._m_misses.inc()
         self.events.append({"event": "cache.corrupt", "key": key,
                             "kind": kind, "reason": reason})
 
@@ -218,6 +267,8 @@ class ArtifactStore:
                 pass
             raise
         self.stats.writes += 1
+        if self._m_writes:
+            self._m_writes.inc()
         return path
 
     def delete(self, key: str, kind: str = "compile") -> bool:

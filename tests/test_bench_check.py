@@ -1,0 +1,300 @@
+"""The benchmark regression gate and its trajectory history.
+
+These tests never run a real benchmark: the pure checkers are driven
+with hand-built committed/fresh envelope pairs, and the CLI is driven
+with ``--fresh SCHEMA=PATH`` so the gate's measurement step is bypassed.
+The promises pinned here:
+
+* deterministic fields (bit identity, guard/barrier counts) compare
+  exactly — any drift fails, no tolerance applies;
+* timing ratios compare host-relatively: ``fresh >= committed *
+  (1 - tolerance)``, so a faster fresh run can never fail;
+* the explore speedup check honours the single-CPU guard;
+* every gate run appends one ``repro.bench-history/1`` line, and a
+  tampered (regressed) committed record makes the CLI exit 1.
+"""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.bench.gate import (DEFAULT_TOLERANCE, bench_check_main,
+                              check_record)
+from repro.bench.history import (append_run, read_history, summarize)
+from repro.obs.envelope import make_envelope
+
+BACKEND = make_envelope(
+    "repro.bench-backend/1",
+    results=[{"kernel": "mm", "scale": 64, "speedup": 50.0,
+              "bit_identical": True},
+             {"kernel": "tp", "scale": 64, "speedup": 180.0,
+              "bit_identical": True}])
+
+DATAFLOW = make_envelope(
+    "repro.bench-dataflow/1",
+    results=[{"kernel": "mm", "guards_removed": 0, "barriers_removed": 0,
+              "counters": {"branch_evals_delta": 0},
+              "bit_identical": {"lockstep": True, "vectorized": True}},
+             {"kernel": "rd", "guards_removed": 1, "barriers_removed": 0,
+              "counters": {"branch_evals_delta": 32768},
+              "bit_identical": {"lockstep": True, "vectorized": True}}])
+
+SERVE = make_envelope(
+    "repro.bench-serve/1", cpus=4,
+    cache=[{"kernel": "mm", "cold_s": 0.5, "warm_s": 0.01,
+            "warm_speedup": 50.0, "bit_identical": True}],
+    explore={"candidates": 6, "workers": 2, "serial_s": 1.0,
+             "parallel_s": 0.6, "speedup": 1.66,
+             "grids_identical": True, "same_winner": True,
+             "winner": "16x16"})
+
+
+def _fails(findings):
+    return [name for name, ok, _ in findings if not ok]
+
+
+class TestBackendChecker:
+    def test_identical_passes(self):
+        findings, tracked = check_record(BACKEND, copy.deepcopy(BACKEND))
+        assert not _fails(findings)
+        assert tracked == {"mm.speedup": 50.0, "tp.speedup": 180.0}
+
+    def test_ratio_is_host_relative(self):
+        fresh = copy.deepcopy(BACKEND)
+        # 0.4x of committed is exactly the floor at tolerance 0.6.
+        fresh["results"][0]["speedup"] = 50.0 * (1 - DEFAULT_TOLERANCE)
+        findings, _ = check_record(BACKEND, fresh)
+        assert not _fails(findings)
+        fresh["results"][0]["speedup"] = 50.0 * 0.3
+        findings, _ = check_record(BACKEND, fresh)
+        assert _fails(findings) == ["mm.speedup"]
+
+    def test_faster_fresh_never_fails(self):
+        fresh = copy.deepcopy(BACKEND)
+        fresh["results"][0]["speedup"] = 500.0
+        findings, _ = check_record(BACKEND, fresh)
+        assert not _fails(findings)
+
+    def test_bit_identity_has_no_tolerance(self):
+        fresh = copy.deepcopy(BACKEND)
+        fresh["results"][1]["bit_identical"] = False
+        findings, _ = check_record(BACKEND, fresh, tolerance=0.99)
+        assert _fails(findings) == ["tp.bit_identical"]
+
+    def test_missing_kernel_fails(self):
+        fresh = copy.deepcopy(BACKEND)
+        del fresh["results"][1]
+        findings, _ = check_record(BACKEND, fresh)
+        assert _fails(findings) == ["tp.present"]
+
+    def test_quick_skips_ratio_but_tracks_it(self):
+        fresh = copy.deepcopy(BACKEND)
+        fresh["results"][0]["speedup"] = 2.0      # way under tolerance
+        findings, tracked = check_record(BACKEND, fresh, quick=True)
+        assert not _fails(findings)
+        assert tracked["mm.speedup"] == 2.0
+
+
+class TestDataflowChecker:
+    def test_structural_fields_exact_in_full_mode(self):
+        fresh = copy.deepcopy(DATAFLOW)
+        fresh["results"][1]["guards_removed"] = 0
+        findings, _ = check_record(DATAFLOW, fresh)
+        assert _fails(findings) == ["rd.guards_removed"]
+
+    def test_counter_deltas_exact_in_full_mode(self):
+        fresh = copy.deepcopy(DATAFLOW)
+        fresh["results"][1]["counters"]["branch_evals_delta"] = 0
+        findings, _ = check_record(DATAFLOW, fresh)
+        assert _fails(findings) == ["rd.counters.branch_evals_delta"]
+
+    def test_quick_mode_only_gates_bit_identity(self):
+        fresh = copy.deepcopy(DATAFLOW)
+        fresh["results"][1]["guards_removed"] = 99
+        fresh["results"][1]["counters"]["branch_evals_delta"] = 7
+        findings, tracked = check_record(DATAFLOW, fresh, quick=True)
+        assert not _fails(findings)
+        assert tracked["rd.guards_removed"] == 99.0
+        fresh["results"][0]["bit_identical"]["vectorized"] = False
+        findings, _ = check_record(DATAFLOW, fresh, quick=True)
+        assert _fails(findings) == ["mm.bit_identical"]
+
+
+class TestServeChecker:
+    def test_identical_passes(self):
+        findings, tracked = check_record(SERVE, copy.deepcopy(SERVE))
+        assert not _fails(findings)
+        assert tracked["mm.warm_speedup"] == 50.0
+        assert tracked["explore.speedup"] == 1.66
+
+    def test_warm_must_beat_cold(self):
+        fresh = copy.deepcopy(SERVE)
+        fresh["cache"][0]["warm_s"] = 0.9
+        findings, _ = check_record(SERVE, fresh)
+        assert "mm.warm_lt_cold" in _fails(findings)
+
+    def test_single_cpu_host_only_bounds_overhead(self):
+        fresh = copy.deepcopy(SERVE)
+        fresh["cpus"] = 1
+        fresh["explore"]["speedup"] = 0.4        # parallel loses: fine
+        fresh["explore"]["parallel_s"] = 2.5
+        findings, _ = check_record(SERVE, fresh)
+        names = [name for name, _, _ in findings]
+        assert "explore.speedup" not in names
+        assert "explore.overhead" in names
+        assert not _fails(findings)
+        fresh["explore"]["parallel_s"] = 100.0   # pathological overhead
+        findings, _ = check_record(SERVE, fresh)
+        assert _fails(findings) == ["explore.overhead"]
+
+    def test_multi_cpu_host_gates_explore_speedup(self):
+        fresh = copy.deepcopy(SERVE)
+        fresh["explore"]["speedup"] = 0.1
+        findings, _ = check_record(SERVE, fresh)
+        assert "explore.speedup" in _fails(findings)
+
+    def test_exploration_agreement_never_tolerated(self):
+        fresh = copy.deepcopy(SERVE)
+        fresh["explore"]["same_winner"] = False
+        findings, _ = check_record(SERVE, fresh, quick=True)
+        assert _fails(findings) == ["explore.same_winner"]
+
+
+class TestHistory:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_run(path, "repro.bench-backend/1", "ok",
+                   {"mm.speedup": 50.0}, tolerance=0.6, quick=False)
+        append_run(path, "repro.bench-backend/1", "regressed",
+                   {"mm.speedup": 10.0}, tolerance=0.6, quick=True,
+                   failures=["mm.speedup"])
+        entries = read_history(path)
+        assert len(entries) == 2
+        assert entries[0]["status"] == "ok"
+        assert entries[1]["failures"] == ["mm.speedup"]
+        summary = summarize(entries)
+        track = summary["records"]["repro.bench-backend/1"]
+        assert track["runs"] == 2
+        assert track["failed_runs"] == 1
+        assert track["tracked"]["mm.speedup"] == {
+            "first": 50.0, "last": 10.0, "min": 10.0, "max": 50.0}
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_run(path, "repro.bench-serve/1", "ok", {},
+                   tolerance=0.6, quick=False)
+        with open(path, "a") as fp:
+            fp.write("{truncated\n")
+            fp.write(json.dumps({"schema": "wrong/1"}) + "\n")
+        assert len(read_history(path)) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_history(str(tmp_path / "nope.jsonl")) == []
+
+
+class TestBenchCheckCli:
+    def _write(self, tmp_path, name, envelope):
+        path = str(tmp_path / name)
+        with open(path, "w") as fp:
+            json.dump(envelope, fp)
+        return path
+
+    def test_same_file_as_fresh_is_clean_exit_0(self, tmp_path, capsys):
+        record = self._write(tmp_path, "backend.json", BACKEND)
+        hist = str(tmp_path / "hist.jsonl")
+        rc = bench_check_main([
+            "--records", record,
+            "--fresh", f"repro.bench-backend/1={record}",
+            "--history", hist])
+        assert rc == 0
+        assert "all records within tolerance" in capsys.readouterr().out
+        entries = read_history(hist)
+        assert len(entries) == 1
+        assert entries[0]["status"] == "ok"
+        assert entries[0]["tracked"]["mm.speedup"] == 50.0
+
+    def test_tampered_committed_record_is_exit_1(self, tmp_path, capsys):
+        # Commit a record claiming a 10x better speedup than the
+        # "fresh" measurement delivers: the gate must flag it.
+        inflated = copy.deepcopy(BACKEND)
+        inflated["results"][0]["speedup"] = 500.0
+        record = self._write(tmp_path, "inflated.json", inflated)
+        fresh = self._write(tmp_path, "fresh.json", BACKEND)
+        hist = str(tmp_path / "hist.jsonl")
+        rc = bench_check_main([
+            "--records", record,
+            "--fresh", f"repro.bench-backend/1={fresh}",
+            "--history", hist])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "[FAIL] mm.speedup" in out
+        entries = read_history(hist)
+        assert entries[0]["status"] == "regressed"
+        assert "mm.speedup" in entries[0]["failures"]
+
+    def test_json_output_and_no_history(self, tmp_path, capsys):
+        record = self._write(tmp_path, "serve.json", SERVE)
+        hist = str(tmp_path / "hist.jsonl")
+        rc = bench_check_main([
+            "--records", record,
+            "--fresh", f"repro.bench-serve/1={record}",
+            "--history", hist, "--no-history", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["records"][0]["schema"] == "repro.bench-serve/1"
+        assert not os.path.exists(hist)
+
+    def test_unreadable_record_is_exit_2(self, tmp_path, capsys):
+        bad = str(tmp_path / "bad.json")
+        with open(bad, "w") as fp:
+            fp.write("{not json")
+        rc = bench_check_main(["--records", bad, "--no-history"])
+        assert rc == 2
+        assert "cannot read record" in capsys.readouterr().err
+
+    def test_bad_fresh_spec_is_exit_2(self, tmp_path, capsys):
+        record = self._write(tmp_path, "backend.json", BACKEND)
+        rc = bench_check_main(["--records", record, "--fresh", "nope",
+                               "--no-history"])
+        assert rc == 2
+        assert "SCHEMA=PATH" in capsys.readouterr().err
+
+    def test_multiple_records_one_regressed(self, tmp_path, capsys):
+        inflated = copy.deepcopy(SERVE)
+        inflated["cache"][0]["warm_speedup"] = 5000.0
+        backend = self._write(tmp_path, "backend.json", BACKEND)
+        serve = self._write(tmp_path, "serve.json", inflated)
+        fresh_serve = self._write(tmp_path, "fresh_serve.json", SERVE)
+        hist = str(tmp_path / "hist.jsonl")
+        rc = bench_check_main([
+            "--records", backend, serve,
+            "--fresh", f"repro.bench-backend/1={backend}",
+            "--fresh", f"repro.bench-serve/1={fresh_serve}",
+            "--history", hist])
+        assert rc == 1
+        entries = read_history(hist)
+        assert [e["status"] for e in entries] == ["ok", "regressed"]
+
+
+class TestBenchHistoryTool:
+    def test_tool_renders_summary(self, tmp_path):
+        import subprocess
+        import sys
+        hist = str(tmp_path / "hist.jsonl")
+        append_run(hist, "repro.bench-backend/1", "ok",
+                   {"mm.speedup": 52.4}, tolerance=0.6, quick=False)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        proc = subprocess.run(
+            [sys.executable, os.path.join(root, "tools",
+                                          "bench_history.py"),
+             "--history", hist, "--json"],
+            capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads(proc.stdout)
+        assert summary["entries"] == 1
+        assert summary["records"]["repro.bench-backend/1"][
+            "tracked"]["mm.speedup"]["last"] == 52.4

@@ -1,0 +1,304 @@
+"""The metrics registry: semantics, concurrency, and the wire format.
+
+Four layers of pinning:
+
+* instrument semantics — counter monotonicity, gauge callbacks,
+  histogram bucket **edge** values (an observation exactly on a bucket
+  bound lands in that bucket, cumulative counts include it);
+* misuse is loud — kind clashes, label mismatches, and label-cardinality
+  explosions raise :class:`MetricsError` at the producer;
+* thread safety — a 24-thread hammer over shared counters/histograms
+  loses no increments, and ``hold()`` groups multi-counter updates so a
+  concurrent snapshot never observes an event half-recorded;
+* the exposition format — a golden pin of the Prometheus text rendering
+  (byte-stable across renders), and :func:`parse_prometheus` as the
+  strict round-trip oracle.
+"""
+
+import math
+import os
+import threading
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_BUCKETS, MAX_SERIES, MetricsError,
+                               MetricsRegistry, parse_prometheus,
+                               sample_value)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+UPDATE = bool(os.environ.get("UPDATE_GOLDEN"))
+
+
+def check_golden(name, text):
+    path = os.path.join(GOLDEN_DIR, name)
+    if UPDATE:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as f:
+            f.write(text)
+        return
+    assert os.path.exists(path), \
+        f"missing golden file {path}; regenerate with UPDATE_GOLDEN=1"
+    with open(path) as f:
+        want = f.read()
+    assert text == want, \
+        f"{name} drifted from golden output; if intended, " \
+        f"regenerate with UPDATE_GOLDEN=1 and review the diff"
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(MetricsError):
+            c.inc(-1)
+
+    def test_counter_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total", "help")
+        a.inc()
+        b.inc()
+        assert a.value == 2.0
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(MetricsError):
+            reg.gauge("x_total")
+        with pytest.raises(MetricsError):
+            reg.counter("x_total", labelnames=("k",))
+
+    def test_gauge_set_and_callback(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(7)
+        assert reg.snapshot()["depth"]["series"][0]["value"] == 7.0
+        box = {"v": 1.0}
+        g.set_function(lambda: box["v"])
+        box["v"] = 42.0
+        assert reg.snapshot()["depth"]["series"][0]["value"] == 42.0
+
+    def test_wrong_kind_method_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.counter("a_total").set(1)
+        with pytest.raises(MetricsError):
+            reg.gauge("b").inc()
+        with pytest.raises(MetricsError):
+            reg.counter("c_total").observe(1.0)
+
+    def test_bad_names_raise(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.counter("bad-name")
+        with pytest.raises(MetricsError):
+            reg.counter("ok_total", labelnames=("bad-label",))
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", "h", labelnames=("verdict",))
+        c.labels(verdict="hit").inc(3)
+        c.labels(verdict="miss").inc()
+        snap = reg.snapshot()["req_total"]
+        got = {tuple(s["labels"].items()): s["value"]
+               for s in snap["series"]}
+        assert got == {(("verdict", "hit"),): 3.0,
+                       (("verdict", "miss"),): 1.0}
+
+    def test_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", labelnames=("verdict",))
+        with pytest.raises(MetricsError):
+            c.labels(wrong="hit")
+        with pytest.raises(MetricsError):
+            c.inc()          # labelled metric needs .labels(...)
+
+    def test_label_cardinality_capped(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", labelnames=("k",), max_series=8)
+        for i in range(8):
+            c.labels(k=str(i)).inc()
+        with pytest.raises(MetricsError, match="cardinality"):
+            c.labels(k="overflow")
+        assert MAX_SERIES == 256      # documented default
+
+    def test_histogram_needs_buckets(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.histogram("h_seconds", buckets=())
+
+
+class TestHistogramEdges:
+    def test_edge_values_land_in_their_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+        # Exactly on a bound counts in that bound's bucket (le = <=).
+        h.observe(0.1)
+        h.observe(1.0)
+        h.observe(0.05)
+        h.observe(5.0)       # beyond the last finite bound -> +Inf
+        series = reg.snapshot()["lat_seconds"]["series"][0]
+        assert series["buckets"] == {"0.1": 2, "1": 3, "+Inf": 4}
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(6.15)
+
+    def test_buckets_always_end_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("a_seconds", buckets=(1.0, math.inf))
+        h.observe(100.0)
+        assert reg.snapshot()["a_seconds"]["series"][0]["buckets"][
+            "+Inf"] == 1
+
+    def test_default_buckets_cover_service_range(self):
+        assert DEFAULT_BUCKETS[0] == 0.001
+        assert DEFAULT_BUCKETS[-1] == 10.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestConcurrency:
+    THREADS = 24
+    PER_THREAD = 500
+
+    def test_hammer_loses_nothing(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", labelnames=("who",))
+        h = reg.histogram("lat_seconds", buckets=(0.5,))
+        start = threading.Barrier(self.THREADS)
+
+        def work(i):
+            mine = c.labels(who=str(i % 4))
+            start.wait()
+            for _ in range(self.PER_THREAD):
+                mine.inc()
+                h.observe(0.25)
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = self.THREADS * self.PER_THREAD
+        snap = reg.snapshot()
+        assert sum(s["value"] for s in
+                   snap["hits_total"]["series"]) == total
+        series = snap["lat_seconds"]["series"][0]
+        assert series["count"] == total
+        assert series["buckets"]["0.5"] == total
+
+    def test_hold_groups_updates_atomically(self):
+        reg = MetricsRegistry()
+        a = reg.counter("a_total")
+        b = reg.counter("b_total")
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            while not stop.is_set():
+                with reg.hold():
+                    a.inc()
+                    b.inc()
+
+        def reader():
+            while not stop.is_set():
+                snap = reg.snapshot()
+                if (snap["a_total"]["series"][0]["value"]
+                        != snap["b_total"]["series"][0]["value"]):
+                    torn.append(snap)
+                    return
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        timer = threading.Timer(0.5, stop.set)
+        timer.start()
+        for t in threads:
+            t.join()
+        timer.cancel()
+        assert not torn, "snapshot observed a half-recorded event"
+
+
+def _reference_registry() -> MetricsRegistry:
+    """A deterministic registry exercising every instrument shape."""
+    reg = MetricsRegistry()
+    reg.counter("repro_requests_total",
+                "Compile requests received.").inc(5)
+    cache = reg.counter("repro_cache_requests_total",
+                        "Requests by cache verdict.",
+                        labelnames=("verdict",))
+    cache.labels(verdict="hit").inc(3)
+    cache.labels(verdict="miss").inc(2)
+    reg.gauge("repro_inflight_requests",
+              "Requests currently being handled.").set(1)
+    lat = reg.histogram("repro_request_seconds",
+                        "End-to-end request latency.",
+                        labelnames=("verdict",),
+                        buckets=(0.001, 0.01, 0.1, 1.0))
+    lat.labels(verdict="hit").observe(0.0005)
+    lat.labels(verdict="hit").observe(0.002)
+    lat.labels(verdict="miss").observe(0.05)
+    esc = reg.gauge("repro_escaped", 'Label with "quotes" and \\.',
+                    labelnames=("path",))
+    esc.labels(path='a"b\\c\nd').set(2)
+    return reg
+
+
+class TestExposition:
+    def test_prometheus_text_is_golden(self):
+        text = _reference_registry().render_prometheus()
+        check_golden("metrics_exposition.txt", text)
+
+    def test_render_is_byte_stable(self):
+        reg = _reference_registry()
+        assert reg.render_prometheus() == reg.render_prometheus()
+        # ...and independent of instrument creation order.
+        assert (reg.render_prometheus()
+                == _reference_registry().render_prometheus())
+
+    def test_parser_round_trip(self):
+        reg = _reference_registry()
+        families = parse_prometheus(reg.render_prometheus())
+        assert sample_value(families, "repro_requests_total") == 5.0
+        assert sample_value(families, "repro_cache_requests_total",
+                            {"verdict": "hit"}) == 3.0
+        assert sample_value(families, "repro_inflight_requests") == 1.0
+        assert sample_value(families, "repro_request_seconds_count",
+                            {"verdict": "hit"}) == 2.0
+        assert sample_value(families, "repro_request_seconds_bucket",
+                            {"verdict": "hit", "le": "0.001"}) == 1.0
+        assert sample_value(families, "repro_escaped",
+                            {"path": 'a"b\\c\nd'}) == 2.0
+
+    def test_parser_rejects_malformed(self):
+        with pytest.raises(MetricsError):
+            parse_prometheus("no_type_line 1\n")
+        with pytest.raises(MetricsError):
+            parse_prometheus("# TYPE x banana\nx 1\n")
+        with pytest.raises(MetricsError):
+            parse_prometheus('# TYPE x counter\nx{bad~label="1"} 1\n')
+
+    def test_parser_rejects_non_cumulative_histogram(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="0.1"} 5\n'
+               'h_bucket{le="+Inf"} 3\n'
+               "h_sum 1\nh_count 3\n")
+        with pytest.raises(MetricsError, match="cumulative"):
+            parse_prometheus(bad)
+
+    def test_parser_rejects_count_mismatch(self):
+        bad = ("# TYPE h histogram\n"
+               'h_bucket{le="+Inf"} 3\n'
+               "h_sum 1\nh_count 4\n")
+        with pytest.raises(MetricsError, match="_count"):
+            parse_prometheus(bad)
+
+    def test_envelope_shape(self):
+        env = _reference_registry().to_envelope(reason="test")
+        assert env["schema"] == "repro.metrics/1"
+        assert env["record"] == "snapshot"
+        assert env["reason"] == "test"
+        assert env["metrics"]["repro_requests_total"]["type"] == "counter"

@@ -1,0 +1,210 @@
+"""Cross-process trace propagation and the trace-view renderer.
+
+The contract under test: one trace id, minted at the front end or
+supplied by the client, survives every hop — the service core, the
+multiprocessing pool, a worker subprocess, even a SIGKILL-respawn
+retry — and ``trace-view`` reassembles the per-actor files into one
+deterministic span tree (pinned by a golden file for the mm kernel).
+"""
+
+import dataclasses
+import os
+import signal
+import time
+
+import pytest
+
+from repro.obs.propagate import (TraceCollector, TraceContext,
+                                 mint_trace_id, valid_trace_id)
+from repro.obs.traceview import trace_view_main
+from repro.serve.daemon import CompileService
+from repro.serve.pool import WorkerPool
+from repro.serve.store import ArtifactStore
+
+from tests.conftest import MM_SRC
+from tests.test_metrics import check_golden
+
+MM_REQUEST = {"source": MM_SRC,
+              "sizes": {"n": 16, "m": 16, "w": 16}, "domain": [16, 16]}
+
+
+def _service(tmp_path, workers=0, **kw):
+    return CompileService(ArtifactStore(tmp_path / "store"),
+                          pool=WorkerPool(workers), **kw)
+
+
+class TestTraceIds:
+    def test_minted_ids_are_valid_and_distinct(self):
+        a, b = mint_trace_id(), mint_trace_id()
+        assert valid_trace_id(a) and valid_trace_id(b)
+        assert a != b
+
+    def test_wire_validation(self):
+        assert valid_trace_id("deadbeefcafe1234")
+        assert not valid_trace_id("DEADBEEF")        # hex must be lowercase
+        assert not valid_trace_id("short")
+        assert not valid_trace_id("g" * 16)
+        assert not valid_trace_id(1234)
+        assert not valid_trace_id(None)
+
+    def test_context_round_trip(self):
+        ctx = TraceContext("ab" * 8, "/tmp/traces", attempt=3)
+        assert TraceContext.from_meta(ctx.to_meta()) == ctx
+
+
+class TestCollector:
+    def test_unknown_component_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceCollector(str(tmp_path)).path_for("ab" * 8, "banana")
+
+    def test_events_stamped_and_collected_in_causal_order(self, tmp_path):
+        collector = TraceCollector(str(tmp_path / "traces"))
+        tid = "ab" * 8
+        collector.write_events(tid, "worker",
+                               [{"kind": "decision", "message": "w"}],
+                               attempt=2)
+        collector.write_events(tid, "worker",
+                               [{"kind": "decision", "message": "w"}],
+                               attempt=1)
+        collector.write_events(tid, "serve",
+                               [{"kind": "decision", "message": "s"}])
+        envelopes = collector.collect(tid)
+        assert [(e["component"], e["attempt"]) for e in envelopes] == \
+            [("serve", 0), ("worker", 1), ("worker", 2)]
+        for env in envelopes:
+            assert all(ev["trace_id"] == tid for ev in env["events"])
+
+    def test_resolve_prefix(self, tmp_path):
+        collector = TraceCollector(str(tmp_path / "traces"))
+        collector.write_events("aa" * 8, "serve", [])
+        collector.write_events("ab" * 8, "serve", [])
+        assert collector.resolve("aaaa") == "aa" * 8
+        with pytest.raises(KeyError, match="ambiguous"):
+            collector.resolve("a")
+        with pytest.raises(KeyError, match="no collected trace"):
+            collector.resolve("ffff")
+
+
+class TestPooledCompileCarriesTraceId:
+    def test_subprocess_worker_writes_request_trace(self, tmp_path):
+        """A real pooled compile (separate process) writes a worker
+        trace file stamped with the *request's* id and per-pass spans."""
+        svc = _service(tmp_path, workers=1)
+        tid = mint_trace_id()
+        try:
+            payload, status = svc.handle_compile(MM_REQUEST, trace_id=tid)
+        finally:
+            svc.close()
+        assert status == "miss" and payload["ok"] is True
+
+        envelopes = svc.traces.collect(tid)
+        components = [e["component"] for e in envelopes]
+        assert components == ["serve", "worker"]
+        serve_env, worker_env = envelopes
+        assert serve_env["attempt"] == 0
+        assert serve_env["verdict"] == "miss"
+        assert worker_env["attempt"] == 1
+        assert worker_env["pid"] != os.getpid()      # really cross-process
+        assert worker_env["status"] == "ok"
+        # The worker file carries the compilation's own span stream,
+        # every event stamped with the request's trace id.
+        passes = {e.get("pass") for e in worker_env["events"]
+                  if e.get("kind") == "span_start"}
+        assert "vectorize" in passes
+        for env in envelopes:
+            assert all(ev["trace_id"] == tid for ev in env["events"])
+
+    def test_hit_request_writes_serve_trace_only(self, tmp_path):
+        svc = _service(tmp_path)
+        try:
+            svc.handle_compile(MM_REQUEST)
+            tid = mint_trace_id()
+            _, status = svc.handle_compile(MM_REQUEST, trace_id=tid)
+        finally:
+            svc.close()
+        assert status == "hit"
+        envelopes = svc.traces.collect(tid)
+        assert [e["component"] for e in envelopes] == ["serve"]
+        assert envelopes[0]["verdict"] == "hit"
+
+
+class TestRespawnRetryTrace:
+    def _kill_marked_worker(self, marker, timeout=30.0):
+        deadline = time.time() + timeout
+        while not os.path.exists(marker):
+            assert time.time() < deadline, "worker never started the task"
+            time.sleep(0.01)
+        time.sleep(0.05)          # let the worker enter its sleep
+        os.kill(int(open(marker).read()), signal.SIGKILL)
+
+    def test_retry_after_sigkill_keeps_id_bumps_attempt(self, tmp_path):
+        if not hasattr(signal, "SIGKILL"):
+            pytest.skip("no SIGKILL on this platform")
+        tid = mint_trace_id()
+        trace_dir = str(tmp_path / "traces")
+        with WorkerPool(1) as pool:
+            marker = str(tmp_path / "victim.pid")
+            task = pool.submit("sleep", {"marker": marker, "sleep_s": 60},
+                               trace=TraceContext(tid, trace_dir))
+            self._kill_marked_worker(marker)
+            out = task.result(timeout=30)
+            assert out["status"] == "slept"
+            assert task.attempts == 2
+        collector = TraceCollector(trace_dir)
+        envelopes = collector.collect(tid)
+        # Attempt 1 died before it could write; the respawned worker's
+        # retry writes attempt 2 under the same request trace id.
+        assert [(e["component"], e["attempt"]) for e in envelopes] == \
+            [("worker", 2)]
+        assert envelopes[0]["status"] == "ok"
+        assert envelopes[0]["task"] == "sleep"
+        assert all(ev["trace_id"] == tid
+                   for ev in envelopes[0]["events"])
+
+
+class TestTraceViewGolden:
+    def test_mm_tree_is_golden(self, tmp_path, capsys):
+        """The full merged tree for an inline mm compile, durations off,
+        is byte-stable — pinned by tests/golden/trace_view_mm.txt."""
+        tid = "feedface" * 4
+        svc = _service(tmp_path)
+        try:
+            payload, status = svc.handle_compile(MM_REQUEST, trace_id=tid)
+        finally:
+            svc.close()
+        assert status == "miss"
+        rc = trace_view_main([tid[:12], "--traces", svc.traces.root,
+                              "--no-durations"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"trace {tid}\n")
+        check_golden("trace_view_mm.txt", out)
+
+    def test_missing_id_is_exit_1(self, tmp_path, capsys):
+        rc = trace_view_main(["feedface", "--traces",
+                              str(tmp_path / "traces")])
+        assert rc == 1
+        assert "no collected trace" in capsys.readouterr().err
+
+    def test_list_mode(self, tmp_path, capsys):
+        collector = TraceCollector(str(tmp_path / "traces"))
+        collector.write_events("aa" * 8, "serve", [])
+        rc = trace_view_main(["--list", "--traces", collector.root])
+        assert rc == 0
+        assert capsys.readouterr().out.strip() == "aa" * 8
+
+
+class TestInlineAttemptStamping:
+    def test_inline_pool_records_attempt_one(self, tmp_path):
+        """workers=0 (inline) still writes the worker trace file, with
+        attempt stamped from the task's single attempt."""
+        tid = mint_trace_id()
+        trace_dir = str(tmp_path / "traces")
+        with WorkerPool(0) as pool:
+            task = pool.submit("sleep", {"sleep_s": 0},
+                               trace=TraceContext(tid, trace_dir))
+            assert task.result(timeout=10)["status"] == "slept"
+        ctx = dataclasses.replace(TraceContext(tid, trace_dir), attempt=1)
+        path = TraceCollector(trace_dir).path_for(
+            tid, "worker", ctx.attempt)
+        assert os.path.exists(path)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Inspect the benchmark trajectory (results/bench_history.jsonl).
+
+Every ``python -m repro bench-check`` run appends one
+``repro.bench-history/1`` line per checked record; this tool renders
+the trajectory:
+
+    python tools/bench_history.py                 # per-record summary
+    python tools/bench_history.py --tail 5        # last 5 raw entries
+    python tools/bench_history.py --json          # summary as JSON
+
+Exit codes: 0 = history read (possibly empty), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.bench.history import DEFAULT_HISTORY, read_history, summarize
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history", default=DEFAULT_HISTORY,
+                        metavar="PATH",
+                        help=f"trajectory file (default: {DEFAULT_HISTORY})")
+    parser.add_argument("--tail", type=int, default=None, metavar="N",
+                        help="print the last N raw entries instead of "
+                             "the summary")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON")
+    args = parser.parse_args(argv)
+
+    entries = read_history(args.history)
+    if args.tail is not None:
+        for entry in entries[-args.tail:]:
+            print(json.dumps(entry, sort_keys=True))
+        return 0
+    summary = summarize(entries)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"bench history: {summary['entries']} entries "
+          f"({args.history})")
+    for record, info in sorted(summary["records"].items()):
+        print(f"  {record}: {info['runs']} run(s), "
+              f"{info['failed_runs']} failed, "
+              f"last={info['last_status']}")
+        for name, track in sorted(info["tracked"].items()):
+            print(f"    {name}: first={track['first']:.3f} "
+                  f"last={track['last']:.3f} "
+                  f"min={track['min']:.3f} max={track['max']:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

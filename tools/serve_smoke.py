@@ -2,15 +2,20 @@
 
 Boots the daemon on an ephemeral port with a throwaway store, POSTs the
 same kernel twice (expecting a cold miss then a warm hit with
-byte-identical bodies), checks ``/stats`` and ``/healthz``, and shuts
-the daemon down cleanly.  Exit code 0 means the full wire path — argv
-parsing, socket bind, worker pool, artifact store, JSON envelopes —
-works outside the test harness.  CI runs this as its "serve smoke"
-step.
+byte-identical bodies), checks ``/stats``, ``/healthz``, and the
+telemetry surface: ``/metrics`` must parse as Prometheus text and agree
+with ``/stats``, a client-supplied ``X-Repro-Trace-Id`` must round-trip
+through the response header, and ``python -m repro trace-view`` must
+render the collected span tree for that id.  Exit code 0 means the full
+wire path — argv parsing, socket bind, worker pool, artifact store,
+JSON envelopes, metrics, trace propagation — works outside the test
+harness.  CI runs this as its "serve smoke" step and uploads the
+``--metrics-out`` snapshot as an artifact.
 
 Usage::
 
     PYTHONPATH=src python tools/serve_smoke.py [--workers N]
+        [--metrics-out FILE]
 """
 
 from __future__ import annotations
@@ -24,24 +29,37 @@ import sys
 import tempfile
 import urllib.request
 
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.obs.metrics import parse_prometheus, sample_value  # noqa: E402
+
 KERNEL = """
 __global__ void tp(float a[m][n], float c[n][m], int n, int m) {
     c[idy][idx] = a[idx][idy];
 }
 """
 
+TRACE_ID = "beefbeefbeefbeefbeefbeefbeefbeef"
 
-def _post(base: str, body: dict):
+
+def _post(base: str, body: dict, trace_id: str | None = None):
+    headers = {"Content-Type": "application/json"}
+    if trace_id:
+        headers["X-Repro-Trace-Id"] = trace_id
     req = urllib.request.Request(
-        base + "/compile", data=json.dumps(body).encode(),
-        headers={"Content-Type": "application/json"})
+        base + "/compile", data=json.dumps(body).encode(), headers=headers)
     with urllib.request.urlopen(req, timeout=120) as resp:
-        return resp.status, resp.headers.get("X-Repro-Cache"), resp.read()
+        return (resp.status, resp.headers.get("X-Repro-Cache"),
+                resp.headers.get("X-Repro-Trace-Id"), resp.read())
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write the final /metrics exposition to "
+                             "FILE (CI uploads it as an artifact)")
     args = parser.parse_args(argv)
 
     store = tempfile.mkdtemp(prefix="repro-serve-smoke-")
@@ -63,14 +81,18 @@ def main(argv=None) -> int:
         request = {"source": KERNEL, "sizes": {"n": 64, "m": 64},
                    "domain": "64x64"}
 
-        status1, cache1, body1 = _post(base, request)
-        status2, cache2, body2 = _post(base, request)
+        status1, cache1, tid1, body1 = _post(base, request,
+                                             trace_id=TRACE_ID)
+        status2, cache2, tid2, body2 = _post(base, request)
         checks = [
             ("cold request 200", status1 == 200),
             ("cold is a miss", cache1 == "miss"),
             ("warm request 200", status2 == 200),
             ("warm is a hit", cache2 == "hit"),
             ("bodies bit-identical", body1 == body2),
+            ("client trace id round-trips", tid1 == TRACE_ID),
+            ("server mints distinct trace ids",
+             bool(tid2) and tid2 != TRACE_ID),
         ]
         payload = json.loads(body1)
         checks.append(("serve/1 envelope",
@@ -88,6 +110,44 @@ def main(argv=None) -> int:
         checks.append(("no errors", counters.get("errors") == 0))
         checks.append(("no corrupt entries",
                        counters.get("corrupt_evictions") == 0))
+
+        # The telemetry surface: /metrics parses as Prometheus text and
+        # cannot disagree with /stats (same registry snapshot).
+        with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
+            ctype = resp.headers.get("Content-Type", "")
+            exposition = resp.read().decode()
+        checks.append(("metrics content type",
+                       ctype.startswith("text/plain; version=0.0.4")))
+        try:
+            families = parse_prometheus(exposition)
+            checks.append(("metrics parse", True))
+            checks.append(("metrics agree with stats",
+                           sample_value(families, "repro_requests_total")
+                           == counters.get("requests")))
+            checks.append(("miss latency recorded",
+                           sample_value(families,
+                                        "repro_request_seconds_count",
+                                        {"verdict": "miss"}) == 1))
+            checks.append(("no requests in flight",
+                           sample_value(families,
+                                        "repro_inflight_requests") == 0))
+        except Exception as exc:
+            checks.append((f"metrics parse ({exc})", False))
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as fp:
+                fp.write(exposition)
+
+        # trace-view over the daemon's collector: the client-supplied id
+        # must reassemble into a serve tree with a grafted worker attempt.
+        view = subprocess.run(
+            [sys.executable, "-m", "repro", "trace-view", TRACE_ID[:12],
+             "--traces", os.path.join(store, "traces"), "--no-durations"],
+            capture_output=True, text=True, timeout=60, env=env)
+        checks.append(("trace-view exits 0", view.returncode == 0))
+        checks.append(("trace-view shows request span",
+                       "request" in view.stdout))
+        checks.append(("trace-view grafts worker attempt",
+                       "worker attempt 01" in view.stdout))
 
         failed = [name for name, ok in checks if not ok]
         for name, ok in checks:
