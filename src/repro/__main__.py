@@ -19,7 +19,11 @@ Usage::
         [--no-validate] [--budget S] [--json]
 
     python -m repro serve [--host H] [--port P] [--store DIR] \
-        [--workers N] [--budget S]
+        [--workers N] [--budget S] [--default-timeout S] [--max-queue N] \
+        [--max-inflight N] [--store-max-bytes B] [--store-max-entries N]
+
+    python -m repro serve-gc [--store DIR] [--max-bytes B] \
+        [--max-entries N] [--verify] [--json]
 
     python -m repro trace-view TRACE_ID [--traces DIR] [--list] \
         [--no-durations] [--json]
@@ -40,7 +44,10 @@ suite kernels under the simulator's dynamic hardware counters and gates
 on drift against the static model (see :mod:`repro.obs.report`); the
 ``serve`` form runs the persistent compile service — content-addressed
 caching plus a parallel worker pool over stdlib HTTP (see
-:mod:`repro.serve`); the ``trace-view`` form renders one service
+:mod:`repro.serve`); the ``serve-gc`` form enforces a byte/entry quota
+on an artifact store offline, evicting least-recently-used entries (the
+daemon runs the same sweep opportunistically after writes); the
+``trace-view`` form renders one service
 request's merged span tree from the collected per-actor trace files
 (see :mod:`repro.obs.traceview`); the ``bench-check`` form gates the
 committed ``BENCH_*.json`` records against freshly measured runs and
@@ -156,6 +163,9 @@ def _run(argv=None) -> int:
     if argv and argv[0] == "serve":
         from repro.serve.daemon import serve_main
         return serve_main(argv[1:])
+    if argv and argv[0] == "serve-gc":
+        from repro.serve.store import serve_gc_main
+        return serve_gc_main(argv[1:])
     if argv and argv[0] == "trace-view":
         from repro.obs.traceview import trace_view_main
         return trace_view_main(argv[1:])
@@ -200,6 +210,11 @@ def _run(argv=None) -> int:
                              "mode)")
     parser.add_argument("--explore", action="store_true",
                         help="empirically search merge factors (Section 4)")
+    parser.add_argument("--remote", metavar="URL", default=None,
+                        help="with --explore: compile the candidate "
+                             "versions on a running compile service "
+                             "(repeat sweeps hit its cache; shed "
+                             "responses are retried)")
     parser.add_argument("--measure", default="model",
                         choices=("model", "sim"),
                         help="with --explore: score versions with the "
@@ -248,10 +263,14 @@ def _run(argv=None) -> int:
         from dataclasses import replace
         options = replace(options, **overrides)
 
+    if args.remote and not args.explore:
+        print("error: --remote requires --explore", file=sys.stderr)
+        return 2
     try:
         if args.explore:
             result = explore(source, sizes, domain, mach,
-                             measure=args.measure, backend=args.backend)
+                             measure=args.measure, backend=args.backend,
+                             remote=args.remote)
             compiled = result.best.compiled
         else:
             compiled = compile_kernel(source, sizes, domain, mach, options)

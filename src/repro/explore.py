@@ -29,8 +29,10 @@ Two measurement modes:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -155,6 +157,7 @@ def explore(source: str, sizes: Dict[str, int], domain: Tuple[int, int],
             backend: Optional[str] = None,
             workers: int = 0,
             pool: Optional[object] = None,
+            remote: Optional[object] = None,
             ) -> ExplorationResult:
     """Sweep merge factors and pick the best-performing version.
 
@@ -168,13 +171,29 @@ def explore(source: str, sizes: Dict[str, int], domain: Tuple[int, int],
     empirical search.  Results are identical to the serial sweep (same
     candidates, same scores, same winner); only the winner carries a
     full in-process :class:`CompiledKernel`.
+
+    ``remote`` (a compile-service base URL, or a
+    :class:`repro.serve.client.ServeClient`) compiles the candidates on
+    a running ``python -m repro serve`` daemon instead — repeated sweeps
+    over the same kernel hit the daemon's content-addressed cache, and
+    the retrying client rides out shed (429) responses.  Remote sweeps
+    score with the analytic model only (``measure="model"``); the
+    winner is rematerialized locally, exactly like the pool sweep.
     """
     if measure not in ("model", "sim"):
         raise ValueError(f"unknown measure {measure!r}; "
                          f"expected 'model' or 'sim'")
     base = base_options or CompileOptions()
     grid = [(bm, tm) for bm in block_factors for tm in thread_factors]
-    if pool is not None or workers > 0:
+    if remote is not None:
+        if pool is not None or workers > 0:
+            raise ValueError("remote and pool/workers are exclusive")
+        if measure != "model":
+            raise ValueError("remote exploration scores with the "
+                             "analytic model; use measure='model'")
+        versions = _explore_remote(source, sizes, domain, machine, grid,
+                                   base, remote)
+    elif pool is not None or workers > 0:
         versions = _explore_pool(source, sizes, domain, machine, grid, base,
                                  measure, backend, workers, pool)
     else:
@@ -240,6 +259,56 @@ def _explore_pool(source, sizes, domain, machine, grid, base,
     finally:
         if own_pool:
             pool.close()
+
+
+def _options_overrides(options: CompileOptions) -> Dict[str, object]:
+    """The candidate options as a service request ``options`` object —
+    only the fields that differ from the defaults, so the request stays
+    small and the daemon's unknown-option validation still applies."""
+    defaults = CompileOptions()
+    out: Dict[str, object] = {}
+    for f in dataclasses.fields(CompileOptions):
+        if f.name == "faults":
+            continue                    # not wire-serializable here
+        value = getattr(options, f.name)
+        if value != getattr(defaults, f.name):
+            out[f.name] = value
+    # Parity with the local sweep: the daemon defaults resilient=True,
+    # but the serial search treats a failing candidate as infeasible.
+    out.setdefault("resilient", options.resilient)
+    return out
+
+
+def _explore_remote(source, sizes, domain, machine, grid, base,
+                    remote) -> List[Version]:
+    from repro.serve.client import ServeClient, ServeUnavailable
+    client = remote if hasattr(remote, "compile") else ServeClient(remote)
+    versions: List[Version] = []
+    for bm, tm in grid:
+        options = candidate_options(bm, tm, base)
+        request = {"source": source,
+                   "sizes": {str(k): int(v) for k, v in sizes.items()},
+                   "domain": [int(domain[0]), int(domain[1])],
+                   "machine": machine.name,
+                   "options": _options_overrides(options)}
+        try:
+            reply = client.compile(request)
+        except ServeUnavailable as exc:
+            versions.append(Version(bm, tm, None, None,
+                                    f"service unavailable: {exc}"))
+            continue
+        if reply.ok:
+            result = reply.payload.get("result") or {}
+            est_dict = dict(result.get("estimate") or {})
+            est = SimpleNamespace(**est_dict) if est_dict else None
+            versions.append(Version(bm, tm, None, est,
+                                    source_text=result.get("source")))
+        else:
+            error = reply.payload.get("error") or {}
+            versions.append(Version(
+                bm, tm, None, None,
+                error.get("message") or f"HTTP {reply.status}"))
+    return versions
 
 
 def autotune(source: str, sizes: Dict[str, int], domain: Tuple[int, int],

@@ -103,6 +103,13 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
                              "(repro.serve.pool); 0 = in-process serial. "
                              "Reduction runs inside the workers; corpus "
                              "writes stay in the parent")
+    parser.add_argument("--remote", metavar="URL", default=None,
+                        help="fuzz a running compile service instead of "
+                             "the in-process oracle: POST each generated "
+                             "case to URL via the retrying client; 200 = "
+                             "ok, 422 = rejected, and any 5xx or "
+                             "unreachable service counts as divergent "
+                             "(a robustness failure)")
     parser.add_argument("--corpus-dir", default="tests/corpus",
                         help="where reduced reproducers are written "
                              "(default: tests/corpus)")
@@ -123,6 +130,10 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     if args.count <= 0:
         print("error: --count must be positive", file=sys.stderr)
         return 2
+    if args.remote and args.workers:
+        print("error: --remote and --workers are exclusive (the daemon "
+              "already owns a worker pool)", file=sys.stderr)
+        return 2
 
     opts = OracleOptions(stages=args.stages, machine=machine(args.machine),
                          backend=args.backend,
@@ -135,6 +146,11 @@ def fuzz_main(argv: Optional[List[str]] = None) -> int:
     divergent_names = []
     interrupted = False
     completed = 0
+    if args.remote:
+        completed, interrupted = _run_remote(
+            args, cases_json, counts, divergent_names)
+        return _finish(args, cases_json, counts, divergent_names,
+                       interrupted, completed)
     if args.workers > 0:
         completed, interrupted = _run_parallel(
             args, opts, cases_json, counts, divergent_names)
@@ -252,6 +268,63 @@ def _run_parallel(args, opts, cases_json, counts, divergent_names):
                         print(f"  wrote reproducer to {path}")
             cases_json.append(entry)
             completed += 1
+    return completed, interrupted
+
+
+def _run_remote(args, cases_json, counts, divergent_names):
+    """Fuzz a running compile service for *robustness*, not correctness.
+
+    The local differential oracle cannot see inside a remote daemon, so
+    the verdicts shift: any definitive answer is fine (200 = ok, 4xx =
+    rejected), and the only "divergence" is the service failing to hold
+    up its availability contract — a 5xx, or staying unreachable through
+    the retrying client's whole backoff budget.
+    """
+    from repro.serve.client import ServeClient, ServeUnavailable
+
+    client = ServeClient(args.remote)
+    completed = 0
+    interrupted = False
+    for index in range(args.count):
+        try:
+            case = generate_case(args.seed, index, shape=args.shape)
+            entry = {"name": case.name, "origin": case.origin,
+                     "remote": args.remote}
+            try:
+                reply = client.compile({
+                    "source": case.source,
+                    "sizes": {str(k): int(v)
+                              for k, v in case.sizes.items()},
+                    "domain": list(case.domain),
+                    "machine": args.machine,
+                })
+                entry["http_status"] = reply.status
+                entry["attempts"] = reply.attempts
+                entry["cache"] = reply.cache
+                if reply.ok:
+                    status = "ok"
+                elif 400 <= reply.status < 500:
+                    status = "rejected"
+                    entry["error"] = reply.payload.get("error")
+                else:
+                    status = "divergent"
+                    entry["error"] = reply.payload.get("error")
+            except ServeUnavailable as exc:
+                status = "divergent"
+                entry["error"] = {"type": "ServeUnavailable",
+                                  "message": str(exc),
+                                  "attempts": exc.attempts}
+            entry["status"] = status
+            counts[status] += 1
+            if status == "divergent":
+                divergent_names.append(case.name)
+                if not args.as_json and not args.quiet:
+                    print(f"SERVICE FAILURE {case.name}: {entry['error']}")
+            cases_json.append(entry)
+            completed = index + 1
+        except KeyboardInterrupt:
+            interrupted = True
+            break
     return completed, interrupted
 
 

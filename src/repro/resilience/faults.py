@@ -17,12 +17,29 @@ pass sites; the pipeline consults the plan at well-defined points:
     The pass is charged an infinite compile budget, forcing the
     timeout-as-rollback path without an actual timeout.
 
+A second family of *disk* faults targets the compile service's artifact
+store (PR 10) rather than the pass pipeline.  They arm at the store's
+I/O sites (``store-write``, ``store-read``, ``store-evict``) with kinds
+
+``enospc``
+    The I/O raises ``OSError(ENOSPC)`` — a full disk.
+``eio``
+    The I/O raises ``OSError(EIO)`` — a failing device.
+``torn``
+    A write lands truncated mid-payload (the checksum catches it on the
+    next read); at read/evict sites ``torn`` behaves like ``eio``.
+
+The store *absorbs* every disk fault: a failed write means the compile
+result is served uncached (compile-through), a failed read is a miss,
+and a failed evict leaves the entry for the next GC pass — the daemon
+never surfaces a disk fault to a client.
+
 Faults are **one-shot**: each armed fault fires at most once, so a
 degradation ladder that retries a site (the reduction path does) recovers
 on the retry instead of failing forever.  Plans come from ``--inject``
 specs on the CLI or the ``REPRO_FAULTS`` environment variable; both use
 comma/space-separated ``kind:site`` pairs, e.g.
-``REPRO_FAULTS="raise:merge,corrupt:coalesce"``.
+``REPRO_FAULTS="raise:merge,enospc:store-write"``.
 """
 
 from __future__ import annotations
@@ -41,7 +58,7 @@ from repro.lang.astnodes import (
     walk_stmts,
 )
 
-#: Recognized fault kinds (see module docstring).
+#: Recognized pipeline fault kinds (see module docstring).
 FAULT_KINDS: Tuple[str, ...] = ("raise", "corrupt", "budget")
 
 #: Named pipeline sites a fault can be armed at.  The first six are the
@@ -50,6 +67,13 @@ FAULT_KINDS: Tuple[str, ...] = ("raise", "corrupt", "budget")
 FAULT_SITES: Tuple[str, ...] = ("vectorize", "coalesce", "merge",
                                 "partition", "prefetch", "simplify",
                                 "cleanup", "reduction")
+
+#: Disk fault kinds targeting the artifact store (PR 10).
+DISK_FAULT_KINDS: Tuple[str, ...] = ("enospc", "eio", "torn")
+
+#: The artifact store's I/O sites disk faults can be armed at.
+DISK_FAULT_SITES: Tuple[str, ...] = ("store-write", "store-read",
+                                     "store-evict")
 
 #: Environment variable holding an ambient fault spec.
 ENV_VAR = "REPRO_FAULTS"
@@ -75,20 +99,32 @@ class Fault:
 
 
 def parse_fault(token: str) -> Fault:
-    """Parse one ``kind:site`` token into a :class:`Fault`."""
+    """Parse one ``kind:site`` token into a :class:`Fault`.
+
+    Pipeline kinds pair with pipeline sites and disk kinds with store
+    sites; crossing the two families is a spec error (there is no
+    ``enospc`` inside the coalesce pass, nor a pass ``rollback`` for a
+    failed disk write).
+    """
     kind, sep, site = token.strip().partition(":")
     if not sep or not site:
         raise FaultSpecError(
             f"bad fault spec {token!r}; expected kind:site "
-            f"(kinds: {', '.join(FAULT_KINDS)})")
-    if kind not in FAULT_KINDS:
+            f"(kinds: {', '.join(FAULT_KINDS + DISK_FAULT_KINDS)})")
+    if kind in FAULT_KINDS:
+        if site not in FAULT_SITES:
+            raise FaultSpecError(
+                f"unknown fault site {site!r} for pipeline kind {kind!r}; "
+                f"expected one of {', '.join(FAULT_SITES)}")
+    elif kind in DISK_FAULT_KINDS:
+        if site not in DISK_FAULT_SITES:
+            raise FaultSpecError(
+                f"unknown fault site {site!r} for disk kind {kind!r}; "
+                f"expected one of {', '.join(DISK_FAULT_SITES)}")
+    else:
         raise FaultSpecError(
             f"unknown fault kind {kind!r}; expected one of "
-            f"{', '.join(FAULT_KINDS)}")
-    if site not in FAULT_SITES:
-        raise FaultSpecError(
-            f"unknown fault site {site!r}; expected one of "
-            f"{', '.join(FAULT_SITES)}")
+            f"{', '.join(FAULT_KINDS + DISK_FAULT_KINDS)}")
     return Fault(kind=kind, site=site)
 
 

@@ -17,19 +17,34 @@ Layering (DESIGN.md 5.8):
   thread per worker process; a dead worker is respawned and its task
   retried, never taking down the service);
 * :mod:`repro.serve.daemon` — the single-flight compile service and the
-  HTTP front end.
+  HTTP front end, with per-request deadlines and admission control
+  (queue/in-flight bounds -> 429 + ``Retry-After``);
+* :mod:`repro.serve.client` — the matching retrying client (capped
+  jittered backoff honoring ``Retry-After`` and client deadlines).
 """
 
-from repro.serve.daemon import CompileService, serve_main
-from repro.serve.pool import WorkerDied, WorkerPool
-from repro.serve.store import ArtifactStore, StoreStats, cache_key
+from repro.serve.client import ClientReply, ServeClient, ServeUnavailable
+from repro.serve.daemon import CompileService, OverloadedError, serve_main
+from repro.serve.pool import (PoolSaturated, TaskCancelled, TaskTimeout,
+                              WorkerDied, WorkerPool)
+from repro.serve.store import (ArtifactStore, GcReport, StoreStats,
+                               cache_key, serve_gc_main)
 
 __all__ = [
     "ArtifactStore",
+    "ClientReply",
     "CompileService",
+    "GcReport",
+    "OverloadedError",
+    "PoolSaturated",
+    "ServeClient",
+    "ServeUnavailable",
     "StoreStats",
+    "TaskCancelled",
+    "TaskTimeout",
     "WorkerDied",
     "WorkerPool",
     "cache_key",
+    "serve_gc_main",
     "serve_main",
 ]

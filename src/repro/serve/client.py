@@ -1,0 +1,231 @@
+"""A retrying client for the compile service.
+
+The daemon sheds load deliberately (HTTP 429 + ``Retry-After`` when the
+queue is full, 503 while cancelling at shutdown) and the network loses
+connections; a correct client treats both as *back off and retry*, not
+as failure.  :class:`ServeClient` wraps ``urllib`` with capped, jittered
+exponential backoff:
+
+* **Retryable**: 429 (honoring the server's ``Retry-After`` hint — the
+  sleep is the max of the hint and the backoff schedule), 503, and
+  transport errors (connection refused/reset while the daemon restarts).
+* **Not retryable**: 200/422 (definitive compile verdicts), 400 (the
+  request itself is bad), 500 (the pool already retried a dead worker
+  once; a second client-side retry of a crashing compile just crashes
+  another worker), and 504 (the *server* enforced the request's own
+  deadline — retrying would overshoot the caller's intent).
+
+Every retry sleeps ``min(cap, base * 2^attempt)`` scaled by equal
+jitter (half fixed, half random — bounded below so a retry storm still
+spreads out, bounded above so tests can budget for it).  A client-side
+``deadline_s`` bounds the *whole* operation: when the next sleep would
+overrun it, the client gives up with :class:`ServeUnavailable` instead
+of sleeping past the caller's budget.
+
+The randomness source is injectable (``rng=random.Random(0)``) so tests
+get a deterministic schedule; so is the sleep function, so they don't
+actually wait.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.propagate import TRACE_HEADER
+
+#: HTTP statuses worth retrying (see module docstring for the why).
+RETRYABLE_STATUSES = (429, 503)
+
+
+class ServeUnavailable(RuntimeError):
+    """The service could not be reached (or kept shedding) within the
+    client's retry/deadline budget."""
+
+    def __init__(self, message: str, attempts: int,
+                 last_status: Optional[int] = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_status = last_status
+
+
+@dataclass
+class ClientReply:
+    """One definitive service answer, plus how hard it was to get."""
+
+    status: int
+    payload: Dict[str, Any]
+    cache: Optional[str]
+    trace_id: Optional[str]
+    attempts: int
+    body: bytes = b""
+    retries: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200 and bool(self.payload.get("ok"))
+
+
+class ServeClient:
+    """Retrying HTTP client for ``python -m repro serve`` (module doc)."""
+
+    def __init__(self, base_url: str, *,
+                 max_attempts: int = 5,
+                 base_delay_s: float = 0.1,
+                 max_delay_s: float = 5.0,
+                 deadline_s: Optional[float] = None,
+                 http_timeout_s: float = 120.0,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, "
+                             f"got {max_attempts}")
+        self.base_url = base_url.rstrip("/")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.deadline_s = deadline_s
+        self.http_timeout_s = http_timeout_s
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+
+    # -- public surface ----------------------------------------------------
+
+    def compile(self, request: Dict[str, Any],
+                trace_id: Optional[str] = None) -> ClientReply:
+        """POST one /compile request, retrying shed/transport failures.
+
+        Returns the first definitive :class:`ClientReply` (any
+        non-retryable status, including 4xx/5xx compile errors — callers
+        check ``reply.ok`` / ``reply.status``).  Raises
+        :class:`ServeUnavailable` when every attempt was shed or failed
+        in transport, or the client deadline would be overrun.
+        """
+        body = json.dumps(request).encode()
+        headers = {"Content-Type": "application/json"}
+        if trace_id:
+            headers[TRACE_HEADER] = trace_id
+        return self._request("POST", "/compile", body, headers)
+
+    def health(self) -> ClientReply:
+        """GET /healthz (retrying transport errors only — a 503 here is
+        the *answer*, not something to wait out)."""
+        return self._request("GET", "/healthz", None, {},
+                             retry_statuses=())
+
+    def stats(self) -> ClientReply:
+        return self._request("GET", "/stats", None, {}, retry_statuses=())
+
+    # -- retry engine ------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[bytes],
+                 headers: Dict[str, str],
+                 retry_statuses=RETRYABLE_STATUSES) -> ClientReply:
+        deadline = (time.monotonic() + self.deadline_s
+                    if self.deadline_s is not None else None)
+        retries: List[Dict[str, Any]] = []
+        last_status: Optional[int] = None
+        last_error = "no attempts made"
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                reply = self._once(method, path, body, headers, deadline)
+            except urllib.error.HTTPError as exc:
+                # urllib turns every non-2xx into an exception; the body
+                # is still the service's JSON envelope.
+                reply = self._from_http_error(exc)
+            except (urllib.error.URLError, ConnectionError, TimeoutError,
+                    OSError) as exc:
+                last_status = None
+                last_error = f"transport error: {exc}"
+                if not self._backoff(attempt, None, deadline, retries,
+                                     last_error):
+                    break
+                continue
+            reply.attempts = attempt
+            reply.retries = retries
+            last_status = reply.status
+            if reply.status not in retry_statuses:
+                return reply
+            last_error = (f"HTTP {reply.status}: "
+                          f"{reply.payload.get('error', '')}")
+            if not self._backoff(attempt, self._retry_after(reply),
+                                 deadline, retries, last_error):
+                break
+        raise ServeUnavailable(
+            f"{method} {path} failed after {len(retries) + 1} "
+            f"attempt(s): {last_error}",
+            attempts=len(retries) + 1, last_status=last_status)
+
+    def _once(self, method: str, path: str, body: Optional[bytes],
+              headers: Dict[str, str],
+              deadline: Optional[float]) -> ClientReply:
+        timeout = self.http_timeout_s
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("client deadline expired before send")
+            timeout = min(timeout, remaining)
+        req = urllib.request.Request(self.base_url + path, data=body,
+                                     headers=headers, method=method)
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            raw = resp.read()
+            return ClientReply(
+                status=resp.status, payload=self._json(raw),
+                cache=resp.headers.get("X-Repro-Cache"),
+                trace_id=resp.headers.get(TRACE_HEADER),
+                attempts=0, body=raw)
+
+    def _from_http_error(self, exc: urllib.error.HTTPError) -> ClientReply:
+        raw = exc.read()
+        reply = ClientReply(
+            status=exc.code, payload=self._json(raw),
+            cache=exc.headers.get("X-Repro-Cache"),
+            trace_id=exc.headers.get(TRACE_HEADER),
+            attempts=0, body=raw)
+        retry_after = exc.headers.get("Retry-After")
+        if retry_after is not None:
+            reply.payload.setdefault("retry_after_s", retry_after)
+        return reply
+
+    @staticmethod
+    def _json(raw: bytes) -> Dict[str, Any]:
+        try:
+            payload = json.loads(raw or b"{}")
+        except ValueError:
+            return {"ok": False, "error": "unparseable response body"}
+        return payload if isinstance(payload, dict) else {"value": payload}
+
+    @staticmethod
+    def _retry_after(reply: ClientReply) -> Optional[float]:
+        hint = reply.payload.get("retry_after_s")
+        try:
+            return float(hint) if hint is not None else None
+        except (TypeError, ValueError):
+            return None
+
+    def _backoff(self, attempt: int, retry_after_s: Optional[float],
+                 deadline: Optional[float], retries: List[Dict[str, Any]],
+                 why: str) -> bool:
+        """Sleep before the next attempt; False = give up (out of
+        attempts, or the sleep would overrun the client deadline)."""
+        if attempt >= self.max_attempts:
+            return False
+        uncapped = self.base_delay_s * (2 ** (attempt - 1))
+        capped = min(self.max_delay_s, uncapped)
+        # Equal jitter: half deterministic, half random.
+        delay = capped / 2 + self._rng.random() * (capped / 2)
+        if retry_after_s is not None:
+            delay = max(delay, min(retry_after_s, self.max_delay_s))
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if delay >= remaining:
+                return False
+        retries.append({"attempt": attempt, "why": why,
+                        "delay_s": round(delay, 4)})
+        self._sleep(delay)
+        return True

@@ -26,14 +26,29 @@ HTTP surface (``python -m repro serve``):
 
 * ``POST /compile`` — body ``{"source": ..., "sizes": {...},
   "domain": [x, y] | "XxY", "machine": "GTX280", "options": {...},
-  "profile": false}``; answers a ``repro.serve/1`` envelope (200 =
-  compiled, 422 = expected compile failure, 400 = bad request, 500 =
-  worker lost); echoes ``X-Repro-Trace-Id``.
+  "profile": false, "timeout_s": 5.0}``; answers a ``repro.serve/1``
+  envelope (200 = compiled, 422 = expected compile failure, 400 = bad
+  request, 429 = shedding load (``Retry-After`` header set), 500 =
+  worker lost, 503 = cancelled at shutdown, 504 = deadline expired);
+  echoes ``X-Repro-Trace-Id``.
 * ``GET /stats`` — hit/miss/error/corrupt counters, queue depth, store
   size, worker respawns, as a ``repro.serve/1`` envelope.
 * ``GET /metrics`` — Prometheus text exposition (0.0.4);
   ``GET /metrics?format=json`` answers the ``repro.metrics/1`` envelope.
-* ``GET /healthz`` — liveness probe.
+* ``GET /healthz`` — readiness probe: 200 when ready, 503 with the
+  degraded conditions (dead workers, shedding, store over quota) named.
+
+Overload and fault hardening (PR 10): per-request deadlines
+(``timeout_s`` or ``--default-timeout``) propagate through coalescing
+into the pool — expired queued tasks are dropped before starting,
+expired running tasks get their worker killed and respawned, and the
+resulting structured 504 is never cached.  Admission control
+(``--max-queue`` / ``--max-inflight``) sheds over-limit requests with
+an immediate 429 instead of letting the queue grow without bound.  The
+store enforces byte/entry quotas with LRU GC after writes, and absorbs
+injected disk faults (``REPRO_FAULTS=enospc:store-write`` etc.) by
+degrading to compile-through.  :mod:`repro.serve.client` is the
+matching retrying client.
 
 On SIGTERM (or Ctrl-C) the daemon shuts down gracefully: it stops
 accepting, drains in-flight requests, flushes one final
@@ -61,7 +76,8 @@ from repro.obs.propagate import (TRACE_HEADER, TraceCollector, TraceContext,
                                  mint_trace_id, valid_trace_id)
 from repro.obs.trace import Tracer
 from repro.serve.artifact import SERVE_SCHEMA, error_artifact
-from repro.serve.pool import WorkerDied, WorkerError, WorkerPool
+from repro.serve.pool import (PoolSaturated, TaskCancelled, TaskTimeout,
+                              WorkerDied, WorkerError, WorkerPool)
 from repro.serve.store import ArtifactStore, cache_key
 
 #: Default TCP port (unassigned in the IANA registry; '2010' for PLDI).
@@ -70,9 +86,23 @@ DEFAULT_PORT = 8210
 #: Cache verdicts, as they appear in metric labels.
 VERDICTS = ("hit", "miss", "coalesced", "error")
 
+#: Error artifact types -> HTTP status (anything else is a 422).
+ERROR_STATUS = {"WorkerDied": 500, "InternalError": 500,
+                "DeadlineExceeded": 504, "Cancelled": 503,
+                "Overloaded": 429}
+
 
 class RequestError(ValueError):
     """A malformed service request (HTTP 400)."""
+
+
+class OverloadedError(RuntimeError):
+    """The service is shedding load (HTTP 429 + ``Retry-After``)."""
+
+    def __init__(self, message: str, retry_after_s: int, reason: str):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.reason = reason
 
 
 def _json_bytes(payload: Dict[str, Any]) -> bytes:
@@ -145,6 +175,24 @@ def parse_request(request: Dict[str, Any],
     return source, sizes, domain, mach, options, profile
 
 
+def parse_timeout(request: Dict[str, Any],
+                  default_s: Optional[float] = None) -> Optional[float]:
+    """The request's ``timeout_s`` (falling back to the daemon default);
+    ``None`` = no deadline.  Raises :class:`RequestError` on junk."""
+    raw = request.get("timeout_s", None)
+    if raw is None:
+        return default_s
+    try:
+        timeout_s = float(raw)
+    except (TypeError, ValueError):
+        raise RequestError(f"'timeout_s' must be a positive number, "
+                           f"got {raw!r}")
+    if timeout_s <= 0 or timeout_s != timeout_s:
+        raise RequestError(f"'timeout_s' must be a positive number, "
+                           f"got {raw!r}")
+    return timeout_s
+
+
 def _snap_value(snap: Dict[str, Dict[str, Any]], name: str,
                 labels: Optional[Dict[str, str]] = None) -> float:
     """One series value out of a registry snapshot (0.0 if absent)."""
@@ -186,21 +234,38 @@ class CompileService:
                  workers: Optional[int] = None,
                  pass_budget_s: Optional[float] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 trace_dir: Optional[str] = None):
+                 trace_dir: Optional[str] = None,
+                 default_timeout_s: Optional[float] = None,
+                 max_queue: Optional[int] = None,
+                 max_inflight: Optional[int] = None,
+                 allow_hold: bool = False):
         self.store = store
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         if pool is not None:
             self.pool = pool
             self.pool.bind_metrics(self.metrics)
         else:
-            self.pool = WorkerPool(workers, metrics=self.metrics)
+            self.pool = WorkerPool(workers, metrics=self.metrics,
+                                   max_queue=max_queue)
         self.store.bind_metrics(self.metrics)
         self.pass_budget_s = pass_budget_s
+        #: Deadline applied to requests that do not carry their own
+        #: ``timeout_s``; ``None`` = no default deadline.
+        self.default_timeout_s = default_timeout_s
+        #: Pending-compile bound for admission control (defaults to the
+        #: pool's own ``max_queue`` when one was configured there).
+        self.max_queue = (max_queue if max_queue is not None
+                          else self.pool.max_queue)
+        #: Concurrent-request bound; over-limit requests get a 429.
+        self.max_inflight = max_inflight
+        #: Whether requests may carry the ``hold_s`` chaos knob.
+        self.allow_hold = allow_hold
         self.started_at = time.time()
         self.traces = TraceCollector(
             trace_dir if trace_dir is not None
             else os.path.join(store.root, "traces"))
         self._lock = threading.Lock()
+        self._idle_cv = threading.Condition(self._lock)
         self._inflight: Dict[str, _Flight] = {}
         self._inflight_requests = 0
         self._bind_service_metrics()
@@ -243,6 +308,17 @@ class CompileService:
         self._m_faults = reg.counter(
             "repro_resilience_fault_injections_total",
             "Injected faults observed in compile traces.")
+        self._m_shed = reg.counter(
+            "repro_shed_total",
+            "Requests shed by admission control (HTTP 429), by reason: "
+            "queue (pool queue full) or inflight (request cap).",
+            labelnames=("reason",))
+        self._m_timeouts = reg.counter(
+            "repro_timeouts_total",
+            "Requests answered 504, by where the deadline expired: "
+            "queued (dropped before start), running (worker killed), or "
+            "coalesced (follower gave up waiting).",
+            labelnames=("where",))
         reg.gauge(
             "repro_uptime_seconds", "Seconds since the service started."
         ).set_function(lambda: time.time() - self.started_at)
@@ -263,6 +339,16 @@ class CompileService:
         """
         if not valid_trace_id(trace_id):
             trace_id = mint_trace_id()
+        if (self.max_inflight is not None
+                and self._inflight_requests >= self.max_inflight):
+            # Shed before doing any work: the cheapest possible 429.
+            with self.metrics.hold():
+                self._m_requests.inc()
+                self._m_shed.labels(reason="inflight").inc()
+            raise OverloadedError(
+                f"service at max in-flight requests "
+                f"({self.max_inflight}); retry later",
+                self.retry_after_s(), "inflight")
         tracer = Tracer()
         outcome: Dict[str, Any] = {"verdict": "error"}
         t0 = time.perf_counter()
@@ -283,6 +369,8 @@ class CompileService:
                 self._m_inflight.set(self._inflight_requests)
                 self._m_latency.labels(
                     verdict=outcome["verdict"]).observe(elapsed)
+            with self._idle_cv:
+                self._idle_cv.notify_all()
             meta = {k: outcome[k] for k in ("verdict", "key", "kernel")
                     if k in outcome}
             try:
@@ -291,6 +379,12 @@ class CompileService:
             except Exception:
                 pass        # telemetry must never break a response
 
+    def retry_after_s(self) -> int:
+        """Retry-After hint for shed requests: scale with queue depth,
+        clamped to [1, 30] seconds."""
+        pending = self.pool.pending_depth if self.pool.workers else 0
+        return max(1, min(30, pending or 1))
+
     def _handle(self, request: Dict[str, Any], tracer: Tracer,
                 trace_id: str, outcome: Dict[str, Any]
                 ) -> Tuple[Dict[str, Any], str]:
@@ -298,6 +392,8 @@ class CompileService:
             with tracer.span("parse"):
                 source, sizes, domain, mach, options, profile = \
                     parse_request(request)
+                timeout_s = parse_timeout(request, self.default_timeout_s)
+                hold_s = self._parse_hold(request)
         except RequestError as exc:
             with self.metrics.hold():
                 self._m_requests.inc()
@@ -308,9 +404,16 @@ class CompileService:
             options = dataclasses.replace(
                 options, pass_budget_s=self.pass_budget_s,
                 resilient=True)
+        deadline = (time.monotonic() + timeout_s
+                    if timeout_s is not None else None)
+        extra: Dict[str, Any] = {"profile": profile}
+        if hold_s is not None:
+            # The chaos knob changes worker behavior, so it must change
+            # the key — a held compile must never satisfy a normal one.
+            extra["hold_s"] = hold_s
         with tracer.span("key"):
             key = cache_key(source, sizes, domain, mach, options,
-                            extra={"profile": profile})
+                            extra=extra)
         outcome["key"] = key
 
         leader = False
@@ -326,6 +429,22 @@ class CompileService:
                 return cached, "hit"
             flight = self._inflight.get(key)
             if flight is None:
+                # Admission control: a new compile needs queue room.
+                # Hits and coalesced joins above are always served.
+                if (self.max_queue is not None
+                        and self.pool.workers > 0
+                        and self.pool.pending_depth >= self.max_queue):
+                    with self.metrics.hold():
+                        self._m_requests.inc()
+                        self._m_shed.labels(reason="queue").inc()
+                    tracer.decision(
+                        f"shed: pool queue full "
+                        f"(pending={self.pool.pending_depth} >= "
+                        f"max_queue={self.max_queue})",
+                        rule="serve.admission")
+                    raise OverloadedError(
+                        f"compile queue full ({self.max_queue} pending); "
+                        f"retry later", self.retry_after_s(), "queue")
                 flight = _Flight(trace_id=trace_id)
                 self._inflight[key] = flight
                 leader = True
@@ -339,7 +458,25 @@ class CompileService:
 
         if not leader:
             with tracer.span("coalesce.wait"):
-                flight.done.wait()
+                finished = flight.done.wait(
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic()))
+            if not finished:
+                # The follower's own deadline expired while the leader
+                # was still compiling; answer a 504 without disturbing
+                # the leader (its result still lands in the store).
+                outcome["class"] = "DeadlineExceeded"
+                with self.metrics.hold():
+                    self._m_timeouts.labels(where="coalesced").inc()
+                    self._m_errors.labels(
+                        **{"class": "DeadlineExceeded"}).inc()
+                tracer.decision(
+                    "deadline expired while coalesced onto in-flight "
+                    "compile", rule="serve.deadline")
+                return error_artifact(
+                    key, "DeadlineExceeded",
+                    f"deadline of {timeout_s}s expired while waiting "
+                    f"for the in-flight compile"), "error"
             tracer.decision(
                 f"coalesced onto in-flight compile "
                 f"(leader trace {flight.trace_id[:12]})",
@@ -362,7 +499,10 @@ class CompileService:
             payload, cacheable = self._compile(key, source, sizes, domain,
                                                mach, options, profile,
                                                tracer=tracer,
-                                               trace_id=trace_id)
+                                               trace_id=trace_id,
+                                               deadline=deadline,
+                                               hold_s=hold_s,
+                                               timeout_s=timeout_s)
         except BaseException:
             # Never leave waiters hanging: publish a structured internal
             # error, then re-raise for the transport layer.
@@ -379,6 +519,7 @@ class CompileService:
         if cacheable:
             with tracer.span("store.put"):
                 self.store.put(key, payload)
+                self.store.maybe_gc()
             self._scan_resilience(payload)
             outcome["verdict"] = "miss"
             return payload, "miss"
@@ -389,21 +530,71 @@ class CompileService:
             self._m_errors.labels(**{"class": err_class}).inc()
         return payload, "error"
 
+    def _parse_hold(self, request: Dict[str, Any]) -> Optional[float]:
+        """The ``hold_s`` chaos knob (worker sleeps before compiling) —
+        only honored when the daemon runs with ``--test-hooks``."""
+        raw = request.get("hold_s", None)
+        if raw is None:
+            return None
+        if not self.allow_hold:
+            raise RequestError(
+                "'hold_s' is a test hook; start the daemon with "
+                "--test-hooks to enable it")
+        try:
+            hold_s = float(raw)
+        except (TypeError, ValueError):
+            raise RequestError(f"'hold_s' must be a non-negative number, "
+                               f"got {raw!r}")
+        if hold_s < 0 or hold_s != hold_s:
+            raise RequestError(f"'hold_s' must be a non-negative number, "
+                               f"got {raw!r}")
+        return hold_s
+
     def _compile(self, key: str, source: str, sizes: Dict[str, int],
                  domain: Tuple[int, int], mach: GpuSpec,
                  options: CompileOptions, profile: bool,
                  tracer: Optional[Tracer] = None,
-                 trace_id: Optional[str] = None
+                 trace_id: Optional[str] = None,
+                 deadline: Optional[float] = None,
+                 hold_s: Optional[float] = None,
+                 timeout_s: Optional[float] = None
                  ) -> Tuple[Dict[str, Any], bool]:
         ctx = None
         if trace_id is not None:
             ctx = TraceContext(trace_id, self.traces.root)
-        task = self.pool.submit("compile", {
+        payload_in: Dict[str, Any] = {
             "key": key, "source": source, "sizes": sizes, "domain": domain,
             "machine": mach, "options": options, "profile": profile,
-        }, trace=ctx)
+        }
+        if hold_s is not None:
+            payload_in["hold_s"] = hold_s
+        try:
+            task = self.pool.submit("compile", payload_in, trace=ctx,
+                                    deadline=deadline)
+        except PoolSaturated as exc:
+            # Raced past the admission check: another leader filled the
+            # queue between our check and this submit.  Same 429.
+            with self.metrics.hold():
+                self._m_shed.labels(reason="queue").inc()
+            if tracer is not None:
+                tracer.decision(f"shed at submit: {exc}",
+                                rule="serve.admission")
+            return error_artifact(key, "Overloaded", str(exc)), False
         try:
             payload = task.result()
+        except TaskTimeout as exc:
+            self._attribute_pool_spans(tracer, task)
+            with self.metrics.hold():
+                self._m_timeouts.labels(where=exc.where).inc()
+            if tracer is not None:
+                tracer.decision(f"deadline expired ({exc.where}): {exc}",
+                                rule="serve.deadline")
+            return error_artifact(
+                key, "DeadlineExceeded",
+                f"deadline of {timeout_s}s expired ({exc.where})"), False
+        except TaskCancelled as exc:
+            self._attribute_pool_spans(tracer, task)
+            return error_artifact(key, "Cancelled", str(exc)), False
         except WorkerDied as exc:
             self._attribute_pool_spans(tracer, task)
             return error_artifact(key, "WorkerDied", str(exc)), False
@@ -499,18 +690,55 @@ class CompileService:
             events=events,
         )
 
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` readiness payload.
+
+        ``ok`` means *ready for new work*; each degraded condition —
+        dead workers, a saturated queue (shedding), a store over quota —
+        is named in ``degraded`` with detail in ``checks`` so probes and
+        operators see the same evidence.
+        """
+        checks: Dict[str, Any] = {}
+        degraded: List[str] = []
+        if self.pool.workers > 0:
+            alive = self.pool.alive_workers
+            checks["workers"] = {"configured": self.pool.workers,
+                                 "alive": alive}
+            if alive < self.pool.workers:
+                degraded.append("workers")
+            pending = self.pool.pending_depth
+            checks["queue"] = {"pending": pending,
+                               "max": self.max_queue}
+            if self.max_queue is not None and pending >= self.max_queue:
+                degraded.append("shedding")
+        over = self.store.over_quota()
+        checks["store"] = {"bytes": self.store.bytes_on_disk(),
+                           "max_bytes": self.store.max_bytes,
+                           "entry_count": len(self.store),
+                           "max_entries": self.store.max_entries,
+                           "over_quota": over}
+        if over:
+            degraded.append("store-quota")
+        ok = not degraded
+        return {"ok": ok, "status": "ok" if ok else "degraded",
+                "degraded": degraded, "checks": checks}
+
     def drain(self, timeout_s: float = 10.0) -> bool:
         """Wait for in-flight requests and queued pool tasks to finish;
-        returns whether the service drained within the timeout."""
+        returns whether the service drained within the timeout.
+
+        Condition-based, not a poll loop: every finishing request
+        notifies, so a drain on an idle service returns immediately and
+        a busy one wakes exactly when the last request completes.
+        """
         deadline = time.monotonic() + timeout_s
-        while True:
-            with self._lock:
-                busy = bool(self._inflight) or self._inflight_requests > 0
-            if not busy and self.pool.queue_depth == 0:
-                return True
-            if time.monotonic() >= deadline:
-                return False
-            time.sleep(0.05)
+        with self._idle_cv:
+            while self._inflight or self._inflight_requests > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle_cv.wait(remaining)
+        return self.pool.wait_idle(max(0.0, deadline - time.monotonic()))
 
     def close(self) -> None:
         self.pool.close()
@@ -534,7 +762,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, payload: Dict[str, Any],
                cache: Optional[str] = None,
-               trace_id: Optional[str] = None) -> None:
+               trace_id: Optional[str] = None,
+               retry_after_s: Optional[int] = None) -> None:
         body = _json_bytes(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -543,6 +772,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("X-Repro-Cache", cache)
         if trace_id is not None:
             self.send_header(TRACE_HEADER, trace_id)
+        if retry_after_s is not None:
+            self.send_header("Retry-After", str(retry_after_s))
         self.end_headers()
         self.wfile.write(body)
 
@@ -566,7 +797,8 @@ class _Handler(BaseHTTPRequestHandler):
                     200, self.service.metrics.render_prometheus(),
                     "text/plain; version=0.0.4; charset=utf-8")
         elif path == "/healthz":
-            self._reply(200, {"ok": True})
+            health = self.service.health()
+            self._reply(200 if health["ok"] else 503, health)
         else:
             self._reply(404, {"ok": False,
                               "error": f"no such path {self.path!r}"})
@@ -594,6 +826,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(400, {"ok": False, "error": str(exc)},
                         cache="error", trace_id=trace_id)
             return
+        except OverloadedError as exc:
+            self._reply(429, {"ok": False, "error": str(exc),
+                              "reason": exc.reason,
+                              "retry_after_s": exc.retry_after_s},
+                        cache="error", trace_id=trace_id,
+                        retry_after_s=exc.retry_after_s)
+            return
         except Exception as exc:
             self._reply(500, {"ok": False,
                               "error": f"internal error "
@@ -604,8 +843,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(200, payload, cache=cache, trace_id=trace_id)
         else:
             err = (payload.get("error") or {}).get("type", "")
-            status = 500 if err in ("WorkerDied", "InternalError") else 422
-            self._reply(status, payload, cache=cache, trace_id=trace_id)
+            status = ERROR_STATUS.get(err, 422)
+            self._reply(status, payload, cache=cache, trace_id=trace_id,
+                        retry_after_s=(self.service.retry_after_s()
+                                       if status == 429 else None))
 
 
 class ServeServer(ThreadingHTTPServer):
@@ -644,6 +885,30 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
                         metavar="SECONDS",
                         help="max wait for in-flight requests on shutdown "
                              "(default: 10)")
+    parser.add_argument("--default-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="deadline applied to requests without their "
+                             "own timeout_s (default: none)")
+    parser.add_argument("--max-queue", type=int, default=None, metavar="N",
+                        help="bound on queued compiles; over-limit "
+                             "requests get 429 + Retry-After "
+                             "(default: unbounded)")
+    parser.add_argument("--max-inflight", type=int, default=None,
+                        metavar="N",
+                        help="bound on concurrently handled requests "
+                             "(default: unbounded)")
+    parser.add_argument("--store-max-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="store byte quota; LRU GC runs after writes "
+                             "(default: unbounded)")
+    parser.add_argument("--store-max-entries", type=int, default=None,
+                        metavar="N",
+                        help="store entry quota; LRU GC runs after writes "
+                             "(default: unbounded)")
+    parser.add_argument("--test-hooks", action="store_true",
+                        help="honor the hold_s request field (worker "
+                             "sleeps before compiling; overload tests "
+                             "only)")
     parser.add_argument("--verbose", action="store_true",
                         help="log each HTTP request to stderr")
     try:
@@ -651,9 +916,16 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     except SystemExit as exc:
         return 2 if exc.code not in (0, None) else 0
 
-    service = CompileService(ArtifactStore(args.store),
+    store = ArtifactStore(args.store,
+                          max_bytes=args.store_max_bytes,
+                          max_entries=args.store_max_entries)
+    service = CompileService(store,
                              workers=args.workers,
-                             pass_budget_s=args.budget)
+                             pass_budget_s=args.budget,
+                             default_timeout_s=args.default_timeout,
+                             max_queue=args.max_queue,
+                             max_inflight=args.max_inflight,
+                             allow_hold=args.test_hooks)
     server = ServeServer((args.host, args.port), service,
                          verbose=args.verbose)
     host, port = server.server_address[:2]
@@ -680,6 +952,13 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     server.shutdown()
     thread.join(timeout=5)
     drained = service.drain(args.drain_timeout)
+    if not drained:
+        # Past the drain deadline: queued-but-not-started compiles are
+        # cancelled so shutdown is bounded; running ones are abandoned
+        # (close() reaps the worker processes).
+        cancelled = service.pool.cancel_pending()
+        print(f"serve: drain timed out; cancelled {cancelled} queued "
+              f"task(s)", file=sys.stderr, flush=True)
     print(json.dumps(service.metrics.to_envelope(
         reason="shutdown", drained=drained)), file=sys.stderr, flush=True)
     server.server_close()

@@ -14,6 +14,14 @@ Inside a worker, compiles run the resilient pipeline (PR 5): per-worker
 pass budgets and injected faults roll back the failing pass and degrade
 toward the all-optimizations-off floor instead of crashing the process.
 
+Overload hardening (PR 10): the queue can be bounded (``max_queue``;
+over-limit submits raise :class:`PoolSaturated` so the service can shed
+with a 429 instead of queueing work it can never finish), and every task
+can carry an absolute deadline — a task still *queued* past its deadline
+is dropped before it starts, and a task still *running* past it has its
+worker SIGKILLed and respawned (the same path a crashed worker takes);
+both complete the task as a structured ``timeout``.
+
 Task kinds are a small registry of module-level handlers (picklable
 under any start method): ``compile`` builds the ``repro.serve/1``
 artifact payload, ``explore`` compiles one design-space candidate,
@@ -48,6 +56,9 @@ COVERAGE_ENV = "REPRO_COVERAGE_DIR"
 
 _STOP = object()
 
+#: Sentinel: a task's deadline expired while it was running.
+_EXPIRED = object()
+
 
 def _mp_context():
     methods = multiprocessing.get_all_start_methods()
@@ -57,6 +68,24 @@ def _mp_context():
 
 class WorkerDied(RuntimeError):
     """A task's worker died (even after retries); the task was lost."""
+
+
+class PoolSaturated(RuntimeError):
+    """The pool's bounded queue is full; the task was not accepted."""
+
+
+class TaskTimeout(RuntimeError):
+    """The task's deadline expired.  ``where`` says how far it got:
+    ``queued`` (dropped before it ever started) or ``running`` (its
+    worker was SIGKILLed mid-task and respawned)."""
+
+    def __init__(self, message: str, where: str):
+        super().__init__(message)
+        self.where = where
+
+
+class TaskCancelled(RuntimeError):
+    """The task was cancelled while still queued (shutdown drain)."""
 
 
 class WorkerError(RuntimeError):
@@ -75,8 +104,16 @@ class WorkerError(RuntimeError):
 # ---------------------------------------------------------------------------
 
 def _handle_compile(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Compile one kernel and build its ``repro.serve/1`` artifact."""
+    """Compile one kernel and build its ``repro.serve/1`` artifact.
+
+    ``hold_s`` (the daemon's ``--test-hooks`` chaos knob) sleeps before
+    compiling, giving overload/timeout tests a deterministic window in
+    which the worker is provably busy.
+    """
     from repro.serve.artifact import build_compile_artifact
+    hold_s = payload.get("hold_s")
+    if hold_s:
+        time.sleep(float(hold_s))
     return build_compile_artifact(payload)
 
 
@@ -255,21 +292,30 @@ class _Task:
     """One submitted unit of work and its eventual outcome."""
 
     __slots__ = ("kind", "payload", "attempts", "status", "value", "_done",
-                 "trace", "t_submit", "t_start", "t_end")
+                 "trace", "t_submit", "t_start", "t_end", "deadline")
 
     def __init__(self, kind: str, payload: Dict[str, Any],
-                 trace: Optional[TraceContext] = None):
+                 trace: Optional[TraceContext] = None,
+                 deadline: Optional[float] = None):
         self.kind = kind
         self.payload = payload
         self.attempts = 0
-        self.status: Optional[str] = None     # ok | error | worker-died
+        # ok | error | worker-died | timeout | cancelled
+        self.status: Optional[str] = None
         self.value: Any = None
         self._done = threading.Event()
         self.trace = trace
+        #: Absolute ``time.monotonic()`` deadline, or ``None``.
+        self.deadline = deadline
         # perf_counter stamps for queue-wait / task-duration telemetry.
         self.t_submit = time.perf_counter()
         self.t_start: Optional[float] = None
         self.t_end: Optional[float] = None
+
+    @property
+    def expired(self) -> bool:
+        return (self.deadline is not None
+                and time.monotonic() >= self.deadline)
 
     def _complete(self, status: str, value: Any) -> None:
         self.status = status
@@ -289,6 +335,13 @@ class _Task:
             raise WorkerDied(
                 f"worker died running {self.kind!r} task "
                 f"(after {self.attempts} attempt(s))")
+        if self.status == "timeout":
+            err = self.value or {}
+            raise TaskTimeout(err.get("message", "task deadline expired"),
+                              err.get("where", "queued"))
+        if self.status == "cancelled":
+            raise TaskCancelled(
+                f"task {self.kind!r} cancelled while queued")
         err = self.value or {}
         raise WorkerError(err.get("type", "Exception"),
                           err.get("message", ""),
@@ -317,15 +370,20 @@ class WorkerPool:
 
     def __init__(self, workers: Optional[int] = None, max_retries: int = 1,
                  poll_s: float = 0.05,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 max_queue: Optional[int] = None):
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
         self.workers = workers
         self.max_retries = max_retries
+        #: Bound on *pending* (queued, not yet started) tasks; ``None``
+        #: = unbounded.  Over-limit submits raise :class:`PoolSaturated`.
+        self.max_queue = max_queue
         self._poll_s = poll_s
         self._ctx = _mp_context()
         self._pending: "queue.Queue" = queue.Queue()
         self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
         self._inflight = 0
         self._closed = False
         self._slots: List[_Slot] = []
@@ -371,6 +429,12 @@ class WorkerPool:
         self._m_respawns = registry.counter(
             "repro_pool_respawns_total",
             "Worker processes respawned after dying.")
+        self._m_timeouts = registry.counter(
+            "repro_pool_timeouts_total",
+            "Tasks expired past their deadline, by where they were "
+            "(queued = dropped before starting, running = worker "
+            "SIGKILLed mid-task).",
+            labelnames=("where",))
         registry.gauge(
             "repro_pool_queue_depth",
             "Tasks submitted but not yet completed (queued + running)."
@@ -452,17 +516,43 @@ class WorkerPool:
             return self._pending.qsize() + self._inflight
 
     @property
+    def pending_depth(self) -> int:
+        """Tasks queued but not yet picked up by a worker."""
+        return self._pending.qsize()
+
+    @property
+    def alive_workers(self) -> int:
+        """Worker processes currently alive (== ``workers`` when
+        healthy; a worker killed while *idle* stays dead until its next
+        task respawns it, which is the readiness probe's signal)."""
+        return sum(1 for slot in self._slots
+                   if slot.proc is not None and slot.proc.is_alive())
+
+    @property
     def respawns(self) -> int:
         """Total worker respawns since the pool started (chaos metric)."""
         return sum(slot.respawns for slot in self._slots)
 
     def submit(self, kind: str, payload: Dict[str, Any],
-               trace: Optional[TraceContext] = None) -> _Task:
+               trace: Optional[TraceContext] = None,
+               deadline: Optional[float] = None) -> _Task:
+        """Queue one task.  ``deadline`` is an absolute
+        ``time.monotonic()`` instant: a task still queued past it is
+        dropped before it starts, and a task still *running* past it has
+        its worker SIGKILLed and respawned (both complete the task as
+        ``timeout``).  Inline mode checks the deadline only before the
+        task starts — there is no process to kill under the caller.
+
+        Raises :class:`PoolSaturated` when a bounded queue is full.
+        """
         if kind not in HANDLERS:
             raise ValueError(f"unknown task kind {kind!r}; "
                              f"expected one of {sorted(HANDLERS)}")
-        task = _Task(kind, payload, trace=trace)
+        task = _Task(kind, payload, trace=trace, deadline=deadline)
         if self.inline:
+            if task.expired:
+                self._timeout(task, "queued")
+                return task
             task.attempts = 1
             task.t_start = time.perf_counter()
             self._m_queue_wait.observe(
@@ -483,8 +573,47 @@ class WorkerPool:
             return task
         if self._closed:
             raise RuntimeError("pool is closed")
+        if (self.max_queue is not None
+                and self._pending.qsize() >= self.max_queue):
+            raise PoolSaturated(
+                f"pool queue is full ({self._pending.qsize()} pending "
+                f">= max_queue={self.max_queue})")
         self._pending.put(task)
         return task
+
+    def _timeout(self, task: _Task, where: str) -> None:
+        """Complete ``task`` as expired (metrics before completion)."""
+        self._m_timeouts.labels(where=where).inc()
+        self._finish(task, "timeout", {
+            "type": "DeadlineExceeded",
+            "where": where,
+            "message": (f"{task.kind!r} task deadline expired while "
+                        f"{where}"),
+        })
+
+    def cancel_pending(self) -> int:
+        """Drain the queue, completing still-queued tasks as
+        ``cancelled`` (the shutdown path once the drain deadline has
+        passed); returns how many were cancelled.  Running tasks are
+        not touched."""
+        cancelled = 0
+        while True:
+            try:
+                task = self._pending.get_nowait()
+            except queue.Empty:
+                return cancelled
+            if task is _STOP:
+                # Put the stop sentinel back for the supervisors.
+                self._pending.put(task)
+                return cancelled
+            self._finish(task, "cancelled", {
+                "type": "Cancelled",
+                "message": f"{task.kind!r} task cancelled while queued",
+            })
+            cancelled += 1
+            with self._lock:
+                if self._inflight == 0 and self._pending.empty():
+                    self._idle.notify_all()
 
     def map(self, kind: str,
             payloads: Iterable[Dict[str, Any]]) -> List[_Task]:
@@ -499,6 +628,13 @@ class WorkerPool:
             if task is _STOP:
                 self._stop_worker(slot)
                 return
+            if task.status is not None:
+                continue               # cancelled while queued
+            if task.expired:
+                # Dropped before it ever starts: a queued task whose
+                # requester has already given up must not burn a worker.
+                self._timeout(task, "queued")
+                continue
             with self._lock:
                 self._inflight += 1
             try:
@@ -506,6 +642,21 @@ class WorkerPool:
             finally:
                 with self._lock:
                     self._inflight -= 1
+                    if self._inflight == 0 and self._pending.empty():
+                        self._idle.notify_all()
+
+    def wait_idle(self, timeout_s: float) -> bool:
+        """Block until no task is queued or running (or the timeout
+        passes); returns whether the pool went idle.  A condition wait,
+        not a poll loop — the supervisors signal the idle transition."""
+        deadline = time.monotonic() + timeout_s
+        with self._idle:
+            while self._pending.qsize() > 0 or self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
 
     def _run_task(self, slot: _Slot, task: _Task) -> None:
         while True:
@@ -527,7 +678,19 @@ class WorkerPool:
             except (BrokenPipeError, OSError):
                 sent = False
             if sent:
-                outcome = self._await(slot)
+                outcome = self._await(slot, task.deadline)
+                if outcome is _EXPIRED:
+                    # The compile is wedged past its deadline: SIGKILL
+                    # the worker (the same respawn path a crashed worker
+                    # takes) and complete the task as a timeout — no
+                    # retry, the requester has already been told 504.
+                    try:
+                        slot.proc.kill()
+                    except (OSError, AttributeError):
+                        pass
+                    self._respawn(slot)
+                    self._timeout(task, "running")
+                    return
                 if outcome is not None:
                     status, value = outcome
                     self._finish(task, status, value)
@@ -543,14 +706,19 @@ class WorkerPool:
                 })
                 return
 
-    def _await(self, slot: _Slot) -> Optional[Tuple[str, Any]]:
-        """The worker's reply, or ``None`` if it died mid-task."""
+    def _await(self, slot: _Slot,
+               deadline: Optional[float] = None) -> Optional[Tuple[str, Any]]:
+        """The worker's reply, ``None`` if it died mid-task, or the
+        ``_EXPIRED`` sentinel if ``deadline`` passed first (a reply that
+        races the deadline wins — completed work is never discarded)."""
         while True:
             try:
                 if slot.conn.poll(self._poll_s):
                     return slot.conn.recv()
             except (EOFError, OSError):
                 return None
+            if deadline is not None and time.monotonic() >= deadline:
+                return _EXPIRED
             if not slot.proc.is_alive():
                 # One last drain: the reply may have landed in the pipe
                 # just before death.

@@ -19,11 +19,33 @@ a killed worker or a torn write can never leave a *partial* entry — and
 a corrupt entry (truncation, bit flip, bad JSON, checksum mismatch) is
 detected on load, evicted, and reported as a ``cache.corrupt`` event;
 the caller simply recompiles.  The store never crashes on bad bytes.
+
+Quota and GC (PR 10): the store optionally carries byte/entry quotas
+(``max_bytes`` / ``max_entries``).  :meth:`ArtifactStore.gc` evicts
+least-recently-*used* entries (every hit bumps the entry's file times,
+so LRU survives ``relatime`` mounts) until the store is back under both
+quotas.  Eviction is atomic per entry — one ``os.unlink`` at a time —
+so a concurrent reader of an evicted entry sees an ordinary miss and
+recompiles; there is no torn intermediate state to observe.  The daemon
+runs GC opportunistically after writes; ``python -m repro serve-gc``
+runs the same sweep offline.
+
+Disk faults: every I/O site consults a
+:class:`~repro.resilience.faults.FaultPlan` (ambient ``REPRO_FAULTS``
+by default) for the disk fault kinds ``enospc`` / ``eio`` / ``torn`` at
+the sites ``store-write`` / ``store-read`` / ``store-evict``.  A write
+fault is absorbed into a ``store.write-failed`` event and the caller
+simply serves the compile uncached (compile-through); a read fault is a
+miss; an evict fault leaves the entry for the next sweep.  Real
+``OSError`` from the filesystem takes the identical paths, so the
+injected matrix proves the real degradation behavior.
 """
 
 from __future__ import annotations
 
+import argparse
 import dataclasses
+import errno
 import hashlib
 import json
 import os
@@ -33,6 +55,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import repro
 from repro.compiler import CompileOptions
 from repro.machine import GpuSpec
+from repro.resilience.faults import DISK_FAULT_KINDS, FaultPlan
 
 #: Bump when the entry layout or the key derivation changes: old stores
 #: simply miss (the version participates in the hash), never misparse.
@@ -101,8 +124,35 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     corrupt: int = 0
+    #: Entries evicted by quota GC (LRU sweeps), not corruption.
+    quota_evictions: int = 0
+    #: Completed :meth:`ArtifactStore.gc` sweeps.
+    gc_runs: int = 0
+    #: Writes absorbed by a disk fault (entry not persisted).
+    write_failures: int = 0
+    #: Reads absorbed by a disk fault (served as a miss).
+    read_faults: int = 0
+    #: Evictions that failed (entry left for the next sweep).
+    evict_failures: int = 0
 
     def to_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class GcReport:
+    """One :meth:`ArtifactStore.gc` sweep's outcome."""
+
+    scanned: int = 0
+    evicted: int = 0
+    reclaimed_bytes: int = 0
+    failed: int = 0
+    remaining_entries: int = 0
+    remaining_bytes: int = 0
+    over_quota: bool = False
+    evicted_keys: List[str] = dataclasses.field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
 
 
@@ -116,14 +166,23 @@ class ArtifactStore:
     a deterministic compile).
     """
 
-    def __init__(self, root: Union[str, os.PathLike]):
+    def __init__(self, root: Union[str, os.PathLike],
+                 max_bytes: Optional[int] = None,
+                 max_entries: Optional[int] = None,
+                 faults: Optional[FaultPlan] = None):
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        #: Disk-fault plan (ambient ``REPRO_FAULTS`` when not given).
+        self.faults = faults if faults is not None else FaultPlan.from_env()
         self.stats = StoreStats()
         #: ``cache.corrupt`` (and future) event records, oldest first.
         self.events: List[Dict[str, object]] = []
         self._m_hits = self._m_misses = None
         self._m_writes = self._m_corrupt = None
+        self._m_quota_evictions = self._m_gc_runs = None
+        self._m_gc_reclaimed = self._m_io_faults = None
 
     def bind_metrics(self, registry) -> None:
         """Mirror the store's counters onto a metrics registry.
@@ -141,10 +200,24 @@ class ArtifactStore:
         self._m_corrupt = registry.counter(
             "repro_store_corrupt_evictions_total",
             "Corrupt entries detected and evicted on load.")
+        self._m_quota_evictions = registry.counter(
+            "repro_store_quota_evictions_total",
+            "Entries evicted by quota GC (LRU sweeps).")
+        self._m_gc_runs = registry.counter(
+            "repro_store_gc_runs_total", "Completed store GC sweeps.")
+        self._m_gc_reclaimed = registry.counter(
+            "repro_store_gc_reclaimed_bytes_total",
+            "Bytes reclaimed by store GC sweeps.")
+        self._m_io_faults = registry.counter(
+            "repro_store_io_faults_total",
+            "Disk faults absorbed by the store, by I/O site.",
+            labelnames=("site",))
         self._m_hits.inc(self.stats.hits)
         self._m_misses.inc(self.stats.misses)
         self._m_writes.inc(self.stats.writes)
         self._m_corrupt.inc(self.stats.corrupt)
+        self._m_quota_evictions.inc(self.stats.quota_evictions)
+        self._m_gc_runs.inc(self.stats.gc_runs)
         registry.gauge(
             "repro_store_entries", "Artifact entries currently on disk."
         ).set_function(lambda: float(len(self)))
@@ -152,6 +225,27 @@ class ArtifactStore:
             "repro_store_bytes",
             "Bytes of artifact entries currently on disk."
         ).set_function(lambda: float(self.bytes_on_disk()))
+        registry.gauge(
+            "repro_store_over_quota",
+            "1 when the store exceeds a configured quota, else 0."
+        ).set_function(lambda: 1.0 if self.over_quota() else 0.0)
+
+    # -- fault injection ---------------------------------------------------
+
+    def _trip_disk(self, site: str) -> Optional[str]:
+        """Fire (and consume) an armed disk fault at ``site``, if any;
+        returns the fault kind or ``None``."""
+        for kind in DISK_FAULT_KINDS:
+            if self.faults.trip(kind, site):
+                if self._m_io_faults:
+                    self._m_io_faults.labels(site=site).inc()
+                return kind
+        return None
+
+    @staticmethod
+    def _disk_error(kind: str, path: str) -> OSError:
+        code = errno.ENOSPC if kind == "enospc" else errno.EIO
+        return OSError(code, os.strerror(code), path)
 
     def bytes_on_disk(self) -> int:
         """Total size of every artifact entry file (traces and tempfiles
@@ -181,8 +275,22 @@ class ArtifactStore:
         A corrupt entry — unreadable, truncated, bit-flipped, bad JSON,
         wrong wrapper shape, or checksum mismatch — is evicted and
         recorded as a ``cache.corrupt`` event; the caller sees a miss.
+
+        A *transient* read fault (injected ``eio``/``enospc``/``torn``
+        at ``store-read``) is also a miss, but does **not** evict: the
+        bytes on disk may be fine, and a flaky device must not destroy
+        the cache.
         """
         path = self.path_for(key, kind)
+        fault = self._trip_disk("store-read")
+        if fault is not None:
+            self.stats.read_faults += 1
+            self.stats.misses += 1
+            if self._m_misses:
+                self._m_misses.inc()
+            self.events.append({"event": "store.read-failed", "key": key,
+                                "kind": kind, "fault": fault})
+            return None
         try:
             with open(path, "r", encoding="utf-8") as f:
                 wrapper = json.load(f)
@@ -217,6 +325,12 @@ class ArtifactStore:
         self.stats.hits += 1
         if self._m_hits:
             self._m_hits.inc()
+        try:
+            # Bump the entry's file times so LRU GC sees real *use*
+            # recency even on noatime/relatime mounts.
+            os.utime(path)
+        except OSError:
+            pass
         return payload
 
     def _evict_corrupt(self, key: str, kind: str, path: str,
@@ -237,15 +351,21 @@ class ArtifactStore:
     # -- write side --------------------------------------------------------
 
     def put(self, key: str, payload: Dict[str, object],
-            kind: str = "compile") -> str:
-        """Atomically persist ``payload`` under ``key``; returns the path.
+            kind: str = "compile") -> Optional[str]:
+        """Atomically persist ``payload`` under ``key``; returns the path,
+        or ``None`` when the write was absorbed by a disk fault.
 
         The wrapper is written to a tempfile in the destination
         directory and ``os.replace``d into place, so readers only ever
-        see complete entries.
+        see complete entries.  A real or injected ``OSError`` (full
+        disk, failing device) is *absorbed*: the entry simply is not
+        persisted, a ``store.write-failed`` event is recorded, and the
+        caller serves the compile uncached (compile-through).  A
+        ``torn`` fault lands a truncated wrapper on disk — the checksum
+        catches it on the next read, which evicts and recompiles.
         """
         path = self.path_for(key, kind)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fault = self._trip_disk("store-write")
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         wrapper = {
             "store_version": STORE_VERSION,
@@ -254,18 +374,30 @@ class ArtifactStore:
             "checksum": _payload_checksum(text),
             "payload": payload,
         }
-        fd, tmp = tempfile.mkstemp(prefix=f".{key[:8]}.",
-                                   dir=os.path.dirname(path))
+        wrapper_text = json.dumps(wrapper, sort_keys=True)
+        if fault == "torn":
+            wrapper_text = wrapper_text[:len(wrapper_text) // 2]
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as f:
-                json.dump(wrapper, f, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
+            if fault in ("enospc", "eio"):
+                raise self._disk_error(fault, path)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(prefix=f".{key[:8]}.",
+                                       dir=os.path.dirname(path))
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as f:
+                    f.write(wrapper_text)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            self.stats.write_failures += 1
+            self.events.append({"event": "store.write-failed", "key": key,
+                                "kind": kind, "reason": str(exc)})
+            return None
         self.stats.writes += 1
         if self._m_writes:
             self._m_writes.inc()
@@ -277,6 +409,111 @@ class ArtifactStore:
             return True
         except FileNotFoundError:
             return False
+
+    # -- quota + GC --------------------------------------------------------
+
+    def over_quota(self) -> bool:
+        """Whether the store currently exceeds a configured quota."""
+        if self.max_entries is not None and len(self) > self.max_entries:
+            return True
+        if (self.max_bytes is not None
+                and self.bytes_on_disk() > self.max_bytes):
+            return True
+        return False
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Every entry with its LRU metadata: ``key``, ``kind``,
+        ``path``, ``bytes``, ``atime`` (falls back to mtime when atime
+        is older — noatime mounts never update it), oldest first."""
+        out = []
+        for key, kind in self.keys():
+            path = self.path_for(key, kind)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue            # raced with a concurrent eviction
+            out.append({"key": key, "kind": kind, "path": path,
+                        "bytes": int(st.st_size),
+                        "atime": max(st.st_atime, st.st_mtime)})
+        out.sort(key=lambda e: (e["atime"], e["key"]))
+        return out
+
+    def gc(self, max_bytes: Optional[int] = None,
+           max_entries: Optional[int] = None) -> GcReport:
+        """Evict least-recently-used entries until under both quotas.
+
+        Crash-safe by construction: each eviction is one atomic
+        ``os.unlink``, so a killed GC leaves the store valid and a
+        concurrent reader of an evicted entry sees an ordinary miss
+        (it recompiles; it can never observe a torn entry).  A failed
+        unlink (real or injected ``store-evict`` fault) leaves that
+        entry for the next sweep and moves on.
+
+        Quotas default to the store's own; passing explicit limits
+        (the ``serve-gc`` CLI does) overrides them for this sweep.
+        """
+        max_bytes = max_bytes if max_bytes is not None else self.max_bytes
+        max_entries = (max_entries if max_entries is not None
+                       else self.max_entries)
+        entries = self.entries()
+        report = GcReport(scanned=len(entries))
+        live = len(entries)
+        live_bytes = sum(e["bytes"] for e in entries)
+        for entry in entries:
+            under_entries = max_entries is None or live <= max_entries
+            under_bytes = max_bytes is None or live_bytes <= max_bytes
+            if under_entries and under_bytes:
+                break
+            fault = self._trip_disk("store-evict")
+            try:
+                if fault is not None:
+                    raise self._disk_error(fault, entry["path"])
+                os.unlink(entry["path"])
+            except FileNotFoundError:
+                # A concurrent eviction beat us to it; already gone.
+                live -= 1
+                live_bytes -= entry["bytes"]
+                continue
+            except OSError as exc:
+                report.failed += 1
+                self.stats.evict_failures += 1
+                self.events.append({"event": "store.evict-failed",
+                                    "key": entry["key"],
+                                    "kind": entry["kind"],
+                                    "reason": str(exc)})
+                continue
+            live -= 1
+            live_bytes -= entry["bytes"]
+            report.evicted += 1
+            report.reclaimed_bytes += entry["bytes"]
+            report.evicted_keys.append(entry["key"])
+            self.stats.quota_evictions += 1
+            if self._m_quota_evictions:
+                self._m_quota_evictions.inc()
+            self.events.append({"event": "store.evicted",
+                                "key": entry["key"],
+                                "kind": entry["kind"],
+                                "bytes": entry["bytes"]})
+        self.stats.gc_runs += 1
+        if self._m_gc_runs:
+            self._m_gc_runs.inc()
+        if self._m_gc_reclaimed:
+            self._m_gc_reclaimed.inc(report.reclaimed_bytes)
+        report.remaining_entries = live
+        report.remaining_bytes = live_bytes
+        report.over_quota = (
+            (max_entries is not None and live > max_entries)
+            or (max_bytes is not None and live_bytes > max_bytes))
+        return report
+
+    def maybe_gc(self) -> Optional[GcReport]:
+        """Run a sweep only when over quota (the daemon's opportunistic
+        hook after each write); returns the report, or ``None``."""
+        if (self.max_bytes is None and self.max_entries is None):
+            return None
+        if not self.over_quota():
+            return None
+        return self.gc()
 
     # -- introspection -----------------------------------------------------
 
@@ -303,3 +540,66 @@ class ArtifactStore:
         for key, kind in self.keys():
             self.get(key, kind)
         return self.events[before:]
+
+
+# ---------------------------------------------------------------------------
+# Offline GC CLI
+# ---------------------------------------------------------------------------
+
+def serve_gc_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro serve-gc`` — sweep an artifact store offline.
+
+    Runs the same LRU eviction the daemon runs opportunistically, against
+    a store directory that may be live (eviction is atomic per entry, so
+    a concurrently running daemon just sees misses).  Exit 0 = swept
+    clean (or nothing to do); 1 = evictions failed or the store is still
+    over quota; 2 = usage error.
+    """
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve-gc",
+        description="Evict least-recently-used artifact-store entries "
+                    "until under the given quotas (DESIGN.md 5.10).")
+    parser.add_argument("--store", default=".repro_store", metavar="DIR",
+                        help="artifact store directory "
+                             "(default: .repro_store)")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        help="byte quota to sweep down to")
+    parser.add_argument("--max-entries", type=int, default=None,
+                        help="entry-count quota to sweep down to")
+    parser.add_argument("--verify", action="store_true",
+                        help="also load-check every surviving entry "
+                             "(corrupt ones are evicted)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the sweep report as JSON")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+    if args.max_bytes is None and args.max_entries is None:
+        print("error: give --max-bytes and/or --max-entries",
+              file=sys.stderr)
+        return 2
+
+    store = ArtifactStore(args.store, max_bytes=args.max_bytes,
+                          max_entries=args.max_entries)
+    report = store.gc()
+    corrupt: List[Dict[str, object]] = []
+    if args.verify:
+        corrupt = store.verify_all()
+    exit_code = 1 if (report.failed or report.over_quota) else 0
+    if args.as_json:
+        print(json.dumps({"schema": "repro.serve/1", "command": "serve-gc",
+                          "exit_code": exit_code,
+                          "report": report.to_dict(),
+                          "corrupt_evicted": corrupt}, indent=2))
+        return exit_code
+    print(f"serve-gc: scanned {report.scanned} entr(ies), evicted "
+          f"{report.evicted} ({report.reclaimed_bytes} B reclaimed), "
+          f"{report.failed} failed; {report.remaining_entries} entr(ies) / "
+          f"{report.remaining_bytes} B remain"
+          + (" [STILL OVER QUOTA]" if report.over_quota else ""))
+    if args.verify:
+        print(f"serve-gc: verify swept {len(corrupt)} corrupt entr(ies)")
+    return exit_code

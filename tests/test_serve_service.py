@@ -316,7 +316,11 @@ class TestHttpEndToEnd:
         base, _ = http_server
         status, body = _get(base, "/healthz")
         assert status == 200
-        assert json.loads(body) == {"ok": True}
+        health = json.loads(body)
+        assert health["ok"] is True
+        assert health["status"] == "ok"
+        assert health["degraded"] == []
+        assert "store" in health["checks"]
 
     def test_stats_reflects_traffic(self, http_server):
         base, service = http_server

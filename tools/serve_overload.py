@@ -1,0 +1,280 @@
+"""Scripted overload + disk-fault chaos matrix against a real daemon.
+
+Three scenarios, each against a ``python -m repro serve`` subprocess on
+an ephemeral port with a throwaway store:
+
+1. **Overload**: with one worker and a one-deep queue, two held
+   compiles (the ``--test-hooks`` ``hold_s`` knob) saturate the
+   service; a third request must get an *immediate* 429 with a
+   ``Retry-After`` hint while ``/healthz`` reports ``shedding`` — and
+   once the held compiles finish, the same request must succeed through
+   the retrying client and the probe must go ready again.  A held
+   compile with a short ``timeout_s`` must come back 504 (worker
+   killed + respawned, never wedged).
+2. **Disk faults**: one daemon per ``REPRO_FAULTS`` spec
+   (``enospc:store-write``, ``eio:store-read``, ``torn:store-write``)
+   proving every fault degrades to compile-through — the client sees
+   only 200s and an eventual cache hit, never a 5xx.
+3. **Store quota**: with ``--store-max-entries 1``, distinct kernels
+   keep compiling fine while opportunistic GC holds the store at one
+   entry and ``/healthz`` stays ready.
+
+Exit 0 = every check passed.  CI runs this as the "serve overload"
+step and uploads the final ``/metrics`` snapshot (shed/timeout/GC
+counters) via ``--metrics-out``.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_overload.py [--metrics-out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.obs.metrics import parse_prometheus, sample_value  # noqa: E402
+from repro.serve.client import ServeClient, ServeUnavailable  # noqa: E402
+
+KERNEL = """
+__global__ void tp(float a[m][n], float c[n][m], int n, int m) {
+    c[idy][idx] = a[idx][idy];
+}
+"""
+
+
+def _request(n: int, **extra) -> dict:
+    """A compile request whose cache key varies with ``n``."""
+    body = {"source": KERNEL, "sizes": {"n": n, "m": n},
+            "domain": [n, n]}
+    body.update(extra)
+    return body
+
+
+class Daemon:
+    """A serve subprocess on an ephemeral port, torn down on exit."""
+
+    def __init__(self, *flags: str, env_extra: dict | None = None):
+        self.store = tempfile.mkdtemp(prefix="repro-serve-overload-")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH")) if p)
+        env.update(env_extra or {})
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--store", self.store, *flags],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env)
+        announce = self.proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", announce)
+        if not match:
+            self.close()
+            raise RuntimeError(f"bad announce line {announce!r}")
+        self.base = f"http://{match.group(1)}:{match.group(2)}"
+
+    def stats(self) -> dict:
+        with urllib.request.urlopen(self.base + "/stats",
+                                    timeout=30) as resp:
+            return json.loads(resp.read())
+
+    def metrics_text(self) -> str:
+        with urllib.request.urlopen(self.base + "/metrics",
+                                    timeout=30) as resp:
+            return resp.read().decode()
+
+    def close(self) -> None:
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+
+    def __enter__(self) -> "Daemon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _post_raw(base: str, body: dict):
+    """One non-retrying POST; returns (status, headers, payload)."""
+    req = urllib.request.Request(
+        base + "/compile", data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read() or b"{}")
+
+
+def _wait(predicate, timeout_s=30.0) -> bool:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def scenario_overload(checks: list, metrics_out: str | None) -> None:
+    with Daemon("--workers", "1", "--max-queue", "1",
+                "--test-hooks") as d:
+        held, queued = [], []
+
+        def bg(request, out):
+            out.append(_post_raw(d.base, request))
+        t1 = threading.Thread(
+            target=bg, args=(_request(32, hold_s=2.5), held), daemon=True)
+        t1.start()
+        checks.append(("worker picks up the held compile",
+                       _wait(lambda: d.stats()["queue_depth"] >= 1)))
+        t2 = threading.Thread(
+            target=bg, args=(_request(48, hold_s=0.0), queued), daemon=True)
+        t2.start()
+        checks.append(("second compile queues",
+                       _wait(lambda: d.stats()["queue_depth"] >= 2)))
+
+        status, headers, payload = _post_raw(d.base, _request(64))
+        checks.append(("saturated request shed with 429", status == 429))
+        checks.append(("429 carries Retry-After",
+                       headers.get("Retry-After", "").isdigit()))
+        checks.append(("429 names the reason",
+                       payload.get("reason") == "queue"))
+
+        client = ServeClient(d.base, max_attempts=8, base_delay_s=0.25)
+        health = client.health()
+        checks.append(("healthz degraded while shedding",
+                       health.status == 503
+                       and "shedding" in health.payload.get("degraded", [])))
+
+        t1.join(timeout=60)
+        t2.join(timeout=60)
+        checks.append(("held compiles complete",
+                       held and held[0][0] == 200
+                       and queued and queued[0][0] == 200))
+
+        # Recovery: the retrying client lands the shed request.
+        reply = client.compile(_request(64))
+        checks.append(("shed request succeeds on retry", reply.ok))
+        checks.append(("healthz ready after recovery",
+                       client.health().status == 200))
+
+        # Deadline: a held compile past its own timeout_s comes back a
+        # structured 504 and the worker is respawned, not wedged.
+        status, _, payload = _post_raw(
+            d.base, _request(96, hold_s=2.0, timeout_s=0.25))
+        checks.append(("expired compile answers 504", status == 504))
+        error = payload.get("error") or {}
+        checks.append(("504 names DeadlineExceeded",
+                       error.get("type") == "DeadlineExceeded"))
+        checks.append(("worker respawned after kill",
+                       _wait(lambda: d.stats()["worker_respawns"] >= 1)))
+        reply = client.compile(_request(96, hold_s=0.0))
+        checks.append(("service healthy after respawn", reply.ok))
+
+        exposition = d.metrics_text()
+        families = parse_prometheus(exposition)
+        checks.append(("shed counter exported",
+                       sample_value(families, "repro_shed_total",
+                                    {"reason": "queue"}) >= 1))
+        checks.append(("timeout counter exported",
+                       sample_value(families, "repro_timeouts_total",
+                                    {"where": "running"}) >= 1))
+        if metrics_out:
+            with open(metrics_out, "w") as fp:
+                fp.write(exposition)
+
+
+FAULT_MATRIX = [
+    # (spec, request sequence as (n, expected_cache), note)
+    ("enospc:store-write",
+     [(32, "miss"), (32, "miss"), (32, "hit")],
+     "failed write -> compile-through, then cached"),
+    ("eio:store-read",
+     [(32, "miss"), (32, "hit")],
+     "read fault absorbed as a transient miss"),
+    ("torn:store-write",
+     [(32, "miss"), (32, "miss"), (32, "hit")],
+     "torn write caught by checksum, recompiled"),
+]
+
+
+def scenario_disk_faults(checks: list) -> None:
+    for spec, sequence, note in FAULT_MATRIX:
+        with Daemon("--workers", "1",
+                    env_extra={"REPRO_FAULTS": spec}) as d:
+            got = []
+            for n, _expected in sequence:
+                status, headers, _ = _post_raw(d.base, _request(n))
+                got.append((status, headers.get("X-Repro-Cache")))
+            want = [(200, cache) for _, cache in sequence]
+            checks.append((f"{spec}: {note} "
+                           f"(saw {[c for _, c in got]})", got == want))
+            if spec == "torn:store-write":
+                checks.append(("torn write recorded as corrupt eviction",
+                               d.stats()["counters"]
+                               ["corrupt_evictions"] == 1))
+
+
+def scenario_store_quota(checks: list) -> None:
+    with Daemon("--workers", "1", "--store-max-entries", "1") as d:
+        statuses = []
+        for n in (32, 48, 64):
+            status, _, _ = _post_raw(d.base, _request(n))
+            statuses.append(status)
+        checks.append(("compiles fine while GC evicts",
+                       statuses == [200, 200, 200]))
+        checks.append(("store held at quota",
+                       d.stats()["store"]["entries"] <= 1))
+        client = ServeClient(d.base, max_attempts=2)
+        checks.append(("healthz ready at quota",
+                       client.health().status == 200))
+        # The evicted first kernel recompiles cleanly (and is a miss,
+        # not an error).
+        status, headers, payload = _post_raw(d.base, _request(32))
+        checks.append(("evicted entry recompiles",
+                       status == 200
+                       and headers.get("X-Repro-Cache") == "miss"
+                       and payload.get("ok") is True))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write the overload daemon's final /metrics "
+                             "exposition to FILE")
+    args = parser.parse_args(argv)
+
+    checks: list = []
+    try:
+        scenario_overload(checks, args.metrics_out)
+        scenario_disk_faults(checks)
+        scenario_store_quota(checks)
+    except (ServeUnavailable, RuntimeError, OSError) as exc:
+        checks.append((f"scenario aborted: {exc}", False))
+
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"  {'ok' if ok else 'FAIL'}  {name}")
+    if failed:
+        print(f"serve overload: FAILED ({', '.join(failed)})")
+        return 1
+    print(f"serve overload: all {len(checks)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
 """End-to-end smoke of ``python -m repro serve`` as a real subprocess.
 
 Boots the daemon on an ephemeral port with a throwaway store, POSTs the
-same kernel twice (expecting a cold miss then a warm hit with
-byte-identical bodies), checks ``/stats``, ``/healthz``, and the
+same kernel twice through the retrying :class:`repro.serve.ServeClient`
+(expecting a cold miss then a warm hit with byte-identical bodies),
+checks ``/stats``, the ``/healthz`` readiness probe, and the
 telemetry surface: ``/metrics`` must parse as Prometheus text and agree
 with ``/stats``, a client-supplied ``X-Repro-Trace-Id`` must round-trip
 through the response header, and ``python -m repro trace-view`` must
@@ -33,6 +34,7 @@ sys.path.insert(0, os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 from repro.obs.metrics import parse_prometheus, sample_value  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
 
 KERNEL = """
 __global__ void tp(float a[m][n], float c[n][m], int n, int m) {
@@ -41,17 +43,6 @@ __global__ void tp(float a[m][n], float c[n][m], int n, int m) {
 """
 
 TRACE_ID = "beefbeefbeefbeefbeefbeefbeefbeef"
-
-
-def _post(base: str, body: dict, trace_id: str | None = None):
-    headers = {"Content-Type": "application/json"}
-    if trace_id:
-        headers["X-Repro-Trace-Id"] = trace_id
-    req = urllib.request.Request(
-        base + "/compile", data=json.dumps(body).encode(), headers=headers)
-    with urllib.request.urlopen(req, timeout=120) as resp:
-        return (resp.status, resp.headers.get("X-Repro-Cache"),
-                resp.headers.get("X-Repro-Trace-Id"), resp.read())
 
 
 def main(argv=None) -> int:
@@ -81,27 +72,31 @@ def main(argv=None) -> int:
         request = {"source": KERNEL, "sizes": {"n": 64, "m": 64},
                    "domain": "64x64"}
 
-        status1, cache1, tid1, body1 = _post(base, request,
-                                             trace_id=TRACE_ID)
-        status2, cache2, tid2, body2 = _post(base, request)
+        # The retrying client is the supported way in: it rides out any
+        # transient shed the daemon answers while workers warm up.
+        client = ServeClient(base, max_attempts=5, base_delay_s=0.2)
+        reply1 = client.compile(request, trace_id=TRACE_ID)
+        reply2 = client.compile(request)
         checks = [
-            ("cold request 200", status1 == 200),
-            ("cold is a miss", cache1 == "miss"),
-            ("warm request 200", status2 == 200),
-            ("warm is a hit", cache2 == "hit"),
-            ("bodies bit-identical", body1 == body2),
-            ("client trace id round-trips", tid1 == TRACE_ID),
+            ("cold request 200", reply1.status == 200),
+            ("cold is a miss", reply1.cache == "miss"),
+            ("warm request 200", reply2.status == 200),
+            ("warm is a hit", reply2.cache == "hit"),
+            ("bodies bit-identical", reply1.body == reply2.body),
+            ("client trace id round-trips", reply1.trace_id == TRACE_ID),
             ("server mints distinct trace ids",
-             bool(tid2) and tid2 != TRACE_ID),
+             bool(reply2.trace_id) and reply2.trace_id != TRACE_ID),
         ]
-        payload = json.loads(body1)
+        payload = reply1.payload
         checks.append(("serve/1 envelope",
                        payload.get("schema") == "repro.serve/1"))
         checks.append(("compile ok", payload.get("ok") is True))
 
-        with urllib.request.urlopen(base + "/healthz", timeout=30) as resp:
-            checks.append(("healthz ok",
-                           json.loads(resp.read()) == {"ok": True}))
+        health = client.health()
+        checks.append(("healthz ready", health.status == 200
+                       and health.payload.get("ok") is True
+                       and health.payload.get("status") == "ok"
+                       and health.payload.get("degraded") == []))
         with urllib.request.urlopen(base + "/stats", timeout=30) as resp:
             stats = json.loads(resp.read())
         counters = stats.get("counters", {})
